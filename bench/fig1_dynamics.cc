@@ -1,0 +1,107 @@
+// FIG1 — reproduces Figure 1: self-segregation over time at tau = 0.42
+// with neighborhood size N = 441 (w = 10). The paper runs a 1000x1000
+// grid; the default here is 256 for wall-clock reasons (pass --n 1000 for
+// the full-size panel). Prints the happiness/segregation time series at
+// the four panel epochs and writes the panels as PPM images.
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "analysis/clusters.h"
+#include "analysis/regions.h"
+#include "core/dynamics.h"
+#include "core/model.h"
+#include "io/ppm.h"
+#include "io/table.h"
+#include "util/args.h"
+
+namespace {
+
+void write_frame(const seg::SchellingModel& model, const std::string& path) {
+  const int n = model.side();
+  seg::PpmImage img(n, n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const std::uint32_t id = model.id_of(x, y);
+      img.set(x, y, seg::fig1_color(model.spin(id), model.is_happy(id)));
+    }
+  }
+  img.write_file(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const seg::ArgParser args(argc, argv);
+  seg::ModelParams params;
+  params.n = static_cast<int>(args.get_int("n", 512));
+  params.w = static_cast<int>(args.get_int("w", 10));
+  params.tau = args.get_double("tau", 0.42);
+  params.p = 0.5;
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2017));
+  const std::string out_dir = args.get_string("out", "out_fig1");
+  ::mkdir(out_dir.c_str(), 0755);
+
+  std::printf("== Figure 1: segregation dynamics, tau=%.2f, %dx%d, N=%d "
+              "==\n\n",
+              params.tau, params.n, params.n, params.neighborhood_size());
+
+  seg::Rng init = seg::Rng::stream(seed, 0);
+  seg::SchellingModel model(params, init);
+  seg::Rng dyn = seg::Rng::stream(seed, 1);
+
+  seg::TablePrinter table({"panel", "flips", "time", "happy%", "unhappy",
+                           "largest_cluster", "largest_mono_ball"});
+  const auto record = [&](const char* panel, std::uint64_t flips,
+                          double time) {
+    const auto clusters = seg::cluster_stats(model);
+    const auto field = seg::mono_region_field(model);
+    table.new_row()
+        .add(panel)
+        .add(static_cast<std::int64_t>(flips))
+        .add(time, 2)
+        .add(100.0 * model.happy_fraction(), 2)
+        .add(static_cast<std::int64_t>(model.count_unhappy()))
+        .add(clusters.largest_cluster)
+        .add(seg::largest_mono_region(field));
+  };
+
+  record("(a) initial", 0, 0.0);
+  write_frame(model, out_dir + "/panel_a.ppm");
+
+  // Panels (b) and (c): two intermediate epochs; panel (d): absorption.
+  const std::uint64_t chunk = static_cast<std::uint64_t>(params.n) *
+                              static_cast<std::uint64_t>(params.n) / 6;
+  std::uint64_t flips_total = 0;
+  double time_total = 0.0;
+  const char* names[2] = {"(b) early", "(c) mid"};
+  for (int panel = 0; panel < 2; ++panel) {
+    seg::RunOptions opt;
+    opt.max_flips = chunk;
+    const seg::RunResult r = seg::run_glauber(model, dyn, opt);
+    flips_total += r.flips;
+    time_total += r.final_time;
+    record(names[panel], flips_total, time_total);
+    write_frame(model, out_dir + "/panel_" +
+                           std::string(panel == 0 ? "b" : "c") + ".ppm");
+    if (r.terminated) break;
+  }
+  const seg::RunResult r = seg::run_glauber(model, dyn);
+  flips_total += r.flips;
+  time_total += r.final_time;
+  record("(d) final", flips_total, time_total);
+  write_frame(model, out_dir + "/panel_d.ppm");
+  table.print();
+
+  std::printf("\npaper's qualitative endpoint: all agents happy, large "
+              "segregated regions.\n");
+  std::printf("measured: happy fraction %.4f (paper: 1.0), largest "
+              "monochromatic ball %lld sites on %d^2 grid.\n",
+              model.happy_fraction(),
+              static_cast<long long>(
+                  seg::largest_mono_region(seg::mono_region_field(model))),
+              params.n);
+  std::printf("panels written to %s/panel_{a,b,c,d}.ppm\n", out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// FIG2 — reproduces Figure 2: the intolerance intervals where segregation
+// is expected, anchored by the constants tau_1 (eq. 1) and tau_2 (eq. 3).
+//
+// Paper values: tau_1 ~ 0.433, tau_2 = 0.34375; monochromatic interval
+// width ~ 0.134 (grey region), almost-monochromatic width ~ 0.312 (grey +
+// black region).
+#include <cstdio>
+
+#include "io/table.h"
+#include "theory/constants.h"
+
+int main() {
+  std::printf("== Figure 2: intolerance intervals for expected "
+              "segregation ==\n\n");
+  const double t1 = seg::tau1();
+  const double t2 = seg::tau2();
+
+  seg::TablePrinter constants({"constant", "defining equation", "value",
+                               "paper"});
+  constants.new_row()
+      .add("tau_1")
+      .add("(3/4)[1-H(4t/3)] - [1-H(t)] = 0")
+      .add(t1, 6)
+      .add("~0.433");
+  constants.new_row()
+      .add("tau_2")
+      .add("1024 t^2 - 384 t + 11 = 0")
+      .add(t2, 6)
+      .add("~0.344");
+  constants.print();
+
+  std::printf("\n");
+  seg::TablePrinter intervals({"regime", "interval", "width", "paper"});
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(%.4f, 1/2) u (1/2, %.4f)", t1, 1 - t1);
+  intervals.new_row()
+      .add("monochromatic (Thm 1, grey)")
+      .add(buf)
+      .add(seg::mono_interval_width(), 6)
+      .add("~0.134");
+  std::snprintf(buf, sizeof(buf), "(%.4f, %.4f] u [%.4f, %.4f)", t2, t1,
+                1 - t1, 1 - t2);
+  intervals.new_row()
+      .add("almost monochromatic (Thm 2, black)")
+      .add(buf)
+      .add(seg::full_interval_width() - seg::mono_interval_width(), 6)
+      .add("~0.178");
+  std::snprintf(buf, sizeof(buf), "(%.4f, 1-%.4f) \\ {1/2}", t2, t2);
+  intervals.new_row()
+      .add("total (grey + black)")
+      .add(buf)
+      .add(seg::full_interval_width(), 6)
+      .add("~0.312");
+  intervals.print();
+
+  std::printf("\nregime map (Glauber, p = 1/2):\n");
+  std::printf("  tau < 1/4         : static w.h.p. (Barmpalias et al.)\n");
+  std::printf("  [1/4, %.4f]     : unknown (paper, concluding remarks)\n",
+              t2);
+  std::printf("  (%.4f, %.4f] : E[M'] exponential in N (Thm 2)\n", t2, t1);
+  std::printf("  (%.4f, 1/2)    : E[M] exponential in N (Thm 1)\n", t1);
+  std::printf("  tau = 1/2         : open problem in 2-D\n");
+  std::printf("  symmetric intervals above 1/2; tau > 3/4: static w.h.p.\n");
+  return 0;
+}

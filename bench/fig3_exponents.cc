@@ -1,0 +1,47 @@
+// FIG3 — reproduces Figure 3: the exponent multipliers a(tau) and b(tau)
+// in 2^{a N - o(N)} <= E[M] <= 2^{b N + o(N)} (Theorems 1-2), evaluated at
+// the epsilon' -> f(tau) envelope on both sides of 1/2.
+#include <cstdio>
+
+#include "io/table.h"
+#include "theory/constants.h"
+#include "theory/exponents.h"
+
+int main() {
+  std::printf("== Figure 3: exponent multipliers a(tau), b(tau) ==\n");
+  std::printf("a(tau) = [1-(2e'+e'^2)][1-H(tau)],  "
+              "b(tau) = (3/2)(1+e')^2 [1-H(tau)],  e' = f(tau)\n\n");
+  const double t1 = seg::tau1();
+  const double t2 = seg::tau2();
+
+  seg::TablePrinter table({"tau", "regime", "f(tau)", "a(tau)", "b(tau)"});
+  const auto add_row = [&](double tau) {
+    const char* regime =
+        (tau > t1 && tau < 1.0 - t1) ? "mono (Thm 1)" : "almost (Thm 2)";
+    table.new_row()
+        .add(tau, 4)
+        .add(regime)
+        .add(seg::f_tau(tau), 5)
+        .add(seg::a_exponent_envelope(tau), 5)
+        .add(seg::b_exponent_envelope(tau), 5);
+  };
+  for (double tau = t2 + 0.005; tau < 0.4999; tau += 0.01) add_row(tau);
+  add_row(0.4999);
+  for (double tau = 0.5099; tau < 1.0 - t2; tau += 0.02) add_row(tau);
+  table.print();
+
+  std::printf("\nshape checks (paper, Fig. 3):\n");
+  const bool decreasing =
+      seg::a_exponent_envelope(0.36) > seg::a_exponent_envelope(0.45) &&
+      seg::b_exponent_envelope(0.36) > seg::b_exponent_envelope(0.45);
+  std::printf("  a, b decreasing toward 1/2 from below: %s\n",
+              decreasing ? "yes" : "NO");
+  const bool symmetric =
+      std::abs(seg::a_exponent_envelope(0.45) -
+               seg::a_exponent_envelope(0.55)) < 1e-12;
+  std::printf("  symmetric about 1/2: %s\n", symmetric ? "yes" : "NO");
+  const bool ordered = seg::a_exponent_envelope(0.4) <
+                       seg::b_exponent_envelope(0.4);
+  std::printf("  a(tau) < b(tau): %s\n", ordered ? "yes" : "NO");
+  return 0;
+}

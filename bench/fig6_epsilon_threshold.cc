@@ -1,0 +1,30 @@
+// FIG6 — reproduces Figure 6: the infimum epsilon' = f(tau) (eq. 10) of
+// the radical-region oversize factor that can trigger the cascade
+// (Lemma 5). Near tau = 1/2 a vanishing nucleus suffices; toward tau_2
+// ever larger unhappy regions are needed.
+#include <cstdio>
+
+#include "io/table.h"
+#include "theory/constants.h"
+
+int main() {
+  std::printf("== Figure 6: triggering threshold f(tau) ==\n\n");
+  const double t2 = seg::tau2();
+  seg::TablePrinter table({"tau", "f(tau)"});
+  for (double tau = t2 + 0.002; tau < 0.4999; tau += 0.005) {
+    table.new_row().add(tau, 4).add(seg::f_tau(tau), 6);
+  }
+  table.new_row().add(0.4999, 4).add(seg::f_tau(0.4999), 6);
+  table.print();
+
+  std::printf("\nshape checks (paper, Fig. 6):\n");
+  std::printf("  f decreasing in tau: %s\n",
+              seg::f_tau(0.36) > seg::f_tau(0.45) ? "yes" : "NO");
+  std::printf("  f -> 0 as tau -> 1/2: %s (f(0.4999) = %.5f)\n",
+              seg::f_tau(0.4999) < 0.02 ? "yes" : "NO", seg::f_tau(0.4999));
+  std::printf("  f < 1/2 on the whole interval: %s\n",
+              seg::f_tau(t2 + 1e-4) < 0.5 ? "yes" : "NO");
+  std::printf("  f(tau_2+) = %.5f (largest trigger the theory needs)\n",
+              seg::f_tau(t2 + 1e-4));
+  return 0;
+}

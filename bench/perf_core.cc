@@ -1,0 +1,100 @@
+// PERF — engineering microbenchmarks for the hot paths: model
+// construction (separable box sums), single flips (O(N) incremental
+// updates), full Glauber runs, the distance transform behind the region
+// metrics, and prefix-sum construction.
+#include <benchmark/benchmark.h>
+
+#include "analysis/regions.h"
+#include "core/dynamics.h"
+#include "core/model.h"
+#include "grid/box_sum.h"
+#include "grid/distance_transform.h"
+#include "grid/prefix_sum.h"
+
+namespace {
+
+void BM_ModelInit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int w = static_cast<int>(state.range(1));
+  seg::ModelParams params{.n = n, .w = w, .tau = 0.45, .p = 0.5};
+  seg::Rng rng(1);
+  const auto spins = seg::random_spins(n, 0.5, rng);
+  for (auto _ : state) {
+    seg::SchellingModel model(params, spins);
+    benchmark::DoNotOptimize(model.count_unhappy());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ModelInit)->Args({256, 4})->Args({256, 10})->Args({512, 10});
+
+void BM_Flip(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  seg::ModelParams params{.n = 128, .w = w, .tau = 0.45, .p = 0.5};
+  seg::Rng rng(2);
+  seg::SchellingModel model(params, rng);
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    model.flip(id);  // flip and flip back: state stays bounded
+    model.flip(id);
+    id = (id + 97) % (128 * 128);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_Flip)->Arg(2)->Arg(4)->Arg(10);
+
+void BM_GlauberRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  seg::ModelParams params{.n = n, .w = 2, .tau = 0.45, .p = 0.5};
+  for (auto _ : state) {
+    state.PauseTiming();
+    seg::Rng init(3);
+    seg::SchellingModel model(params, init);
+    seg::Rng dyn(4);
+    state.ResumeTiming();
+    const seg::RunResult r = seg::run_glauber(model, dyn);
+    benchmark::DoNotOptimize(r.flips);
+  }
+}
+BENCHMARK(BM_GlauberRun)->Arg(64)->Arg(128);
+
+void BM_BoxSum(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int w = static_cast<int>(state.range(1));
+  seg::Rng rng(5);
+  std::vector<std::int32_t> values(static_cast<std::size_t>(n) * n);
+  for (auto& v : values) v = static_cast<std::int32_t>(rng.uniform_below(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seg::box_sum_torus(values, n, w));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BoxSum)->Args({512, 10})->Args({1024, 10});
+
+void BM_DistanceTransform(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  seg::Rng rng(6);
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n);
+  for (auto& s : spins) s = rng.bernoulli(0.5) ? 1 : -1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seg::mono_ball_radius(spins, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_DistanceTransform)->Arg(256)->Arg(512);
+
+void BM_PrefixSumBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  seg::Rng rng(7);
+  std::vector<std::int32_t> values(static_cast<std::size_t>(n) * n);
+  for (auto& v : values) v = static_cast<std::int32_t>(rng.uniform_below(2));
+  for (auto _ : state) {
+    const seg::PrefixSum2D prefix(values, n);
+    benchmark::DoNotOptimize(prefix.total());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_PrefixSumBuild)->Arg(256)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

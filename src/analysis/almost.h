@@ -1,0 +1,49 @@
+// Almost-monochromatic region measurement (paper Sec. II-A and the
+// quantity M' of Theorem 2): the largest-radius ball containing u in which
+// the ratio (minority count / majority count) is at most e^{-eps N},
+// where N is the neighborhood size of the dynamics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/point.h"
+#include "rng/rng.h"
+
+namespace seg {
+
+class SchellingModel;
+
+struct AlmostMonoField {
+  int n = 0;
+  double ratio_threshold = 0.0;
+  // Per-center radius of the largest almost-monochromatic ball centered
+  // there (-1 if even the radius-0 ball fails, which cannot happen since a
+  // single agent has minority ratio 0).
+  std::vector<std::int32_t> radius;
+};
+
+// Computes the per-center almost-monochromatic radii. max_radius bounds
+// the search (and the cost, O(n^2 * max_radius)); it defaults to the
+// largest proper ball, (n-1)/2, when <= 0.
+AlmostMonoField almost_mono_field(const std::vector<std::int8_t>& spins,
+                                  int n, double ratio_threshold,
+                                  int max_radius = 0);
+
+// Paper's threshold e^{-eps N} for the given dynamics neighborhood size.
+double almost_mono_threshold(double eps, int neighborhood_size);
+
+// M'(u): size of the largest almost-monochromatic ball containing u.
+std::int64_t almost_region_size_of(const AlmostMonoField& field, Point u);
+
+// Mean of M'(u) over uniformly sampled agents (estimator for E[M']).
+double mean_almost_region_size(const AlmostMonoField& field,
+                               std::size_t samples, Rng& rng);
+
+std::int64_t largest_almost_region(const AlmostMonoField& field);
+
+// Convenience overload binding threshold = e^{-eps N(model)}.
+AlmostMonoField almost_mono_field(const SchellingModel& model, double eps,
+                                  int max_radius = 0);
+
+}  // namespace seg

@@ -1,0 +1,59 @@
+#include "analysis/correlation.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "grid/point.h"
+
+namespace seg {
+
+std::vector<double> pair_correlation(const std::vector<std::int8_t>& spins,
+                                     int n, int max_r) {
+  assert(spins.size() == static_cast<std::size_t>(n) * n);
+  assert(max_r >= 0 && max_r < n / 2);
+
+  double mean = 0.0;
+  for (const std::int8_t s : spins) mean += s;
+  mean /= static_cast<double>(spins.size());
+
+  // Directions at l-infinity distance r: two axes and two diagonals.
+  static constexpr int kDx[4] = {1, 0, 1, 1};
+  static constexpr int kDy[4] = {0, 1, 1, -1};
+
+  std::vector<double> c(static_cast<std::size_t>(max_r) + 1, 0.0);
+  for (int r = 0; r <= max_r; ++r) {
+    double acc = 0.0;
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const double s0 =
+            spins[static_cast<std::size_t>(y) * n + x];
+        for (int d = 0; d < 4; ++d) {
+          const int nx = torus_wrap(x + kDx[d] * r, n);
+          const int ny = torus_wrap(y + kDy[d] * r, n);
+          acc += s0 * spins[static_cast<std::size_t>(ny) * n + nx];
+        }
+      }
+    }
+    c[r] = acc / (4.0 * static_cast<double>(spins.size())) - mean * mean;
+  }
+  return c;
+}
+
+double correlation_length(const std::vector<double>& c) {
+  assert(!c.empty());
+  const double target = c[0] / std::exp(1.0);
+  if (c[0] <= 0.0) return 0.0;
+  for (std::size_t r = 1; r < c.size(); ++r) {
+    if (c[r] <= target) {
+      // Linear interpolation between r-1 and r.
+      const double hi = c[r - 1];
+      const double lo = c[r];
+      if (hi == lo) return static_cast<double>(r);
+      const double frac = (hi - target) / (hi - lo);
+      return static_cast<double>(r - 1) + frac;
+    }
+  }
+  return static_cast<double>(c.size() - 1);
+}
+
+}  // namespace seg

@@ -1,0 +1,24 @@
+// Two-point spin correlations and the segregation length scale.
+//
+// C(r) = <s(x) s(x + r e)> - <s>^2 averaged over sites and over the four
+// lattice directions (two axes, two diagonals with l-infinity norm r).
+// After the process terminates, C decays on the scale of the segregated
+// regions; the correlation length (first crossing of C(0)/e) is a
+// resolution-independent companion to the region-size metrics of
+// Theorems 1-2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace seg {
+
+// C(r) for r = 0..max_r on the torus (spins +1/-1). O(n^2 max_r).
+std::vector<double> pair_correlation(const std::vector<std::int8_t>& spins,
+                                     int n, int max_r);
+
+// First r (linearly interpolated) where C(r) drops below C(0)/e; returns
+// max_r if it never does. C must be a pair_correlation() output.
+double correlation_length(const std::vector<double>& c);
+
+}  // namespace seg

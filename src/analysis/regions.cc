@@ -1,0 +1,60 @@
+#include "analysis/regions.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/model.h"
+#include "grid/distance_transform.h"
+
+namespace seg {
+
+MonoRegionField mono_region_field(const std::vector<std::int8_t>& spins,
+                                  int n) {
+  MonoRegionField field;
+  field.n = n;
+  field.radius = mono_ball_radius(spins, n);
+  return field;
+}
+
+MonoRegionField mono_region_field(const SchellingModel& model) {
+  return mono_region_field(model.spins(), model.side());
+}
+
+std::int64_t mono_region_size_of(const MonoRegionField& field, Point u) {
+  const int n = field.n;
+  std::int64_t best = 1;  // the radius-0 ball {u} is always monochromatic
+  for (int cy = 0; cy < n; ++cy) {
+    for (int cx = 0; cx < n; ++cx) {
+      const std::int32_t r =
+          field.radius[static_cast<std::size_t>(cy) * n + cx];
+      if (r <= 0) continue;
+      if (torus_linf(Point{cx, cy}, u, n) <= r) {
+        best = std::max(best, ball_size(r));
+      }
+    }
+  }
+  return best;
+}
+
+double mean_mono_region_size(const MonoRegionField& field,
+                             std::size_t samples, Rng& rng) {
+  assert(samples > 0);
+  const auto total =
+      static_cast<std::uint64_t>(field.n) * static_cast<std::uint64_t>(field.n);
+  double sum = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto id = rng.uniform_below(total);
+    const Point u{static_cast<int>(id % field.n),
+                  static_cast<int>(id / field.n)};
+    sum += static_cast<double>(mono_region_size_of(field, u));
+  }
+  return sum / static_cast<double>(samples);
+}
+
+std::int64_t largest_mono_region(const MonoRegionField& field) {
+  std::int32_t best = 0;
+  for (const std::int32_t r : field.radius) best = std::max(best, r);
+  return ball_size(best);
+}
+
+}  // namespace seg

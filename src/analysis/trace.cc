@@ -1,0 +1,43 @@
+#include "analysis/trace.h"
+
+#include "analysis/clusters.h"
+#include "io/csv.h"
+
+namespace seg {
+
+void TraceRecorder::sample(const SchellingModel& model, std::uint64_t flips,
+                           double time) {
+  TraceRow row;
+  row.flips = flips;
+  row.time = time;
+  row.happy_fraction = model.happy_fraction();
+  row.unhappy = model.count_unhappy();
+  row.plus_fraction = model.plus_fraction();
+  if (record_interface_) {
+    row.interface_length = cluster_stats(model).interface_length;
+  }
+  rows_.push_back(row);
+}
+
+std::function<void(const SchellingModel&, std::uint64_t, double)>
+TraceRecorder::callback() {
+  return [this](const SchellingModel& model, std::uint64_t flips,
+                double time) { sample(model, flips, time); };
+}
+
+std::string TraceRecorder::to_csv() const {
+  CsvWriter csv({"flips", "time", "happy_fraction", "unhappy",
+                 "plus_fraction", "interface_length"});
+  for (const TraceRow& row : rows_) {
+    csv.new_row()
+        .add(static_cast<std::int64_t>(row.flips))
+        .add(row.time)
+        .add(row.happy_fraction)
+        .add(static_cast<std::int64_t>(row.unhappy))
+        .add(row.plus_fraction)
+        .add(row.interface_length);
+  }
+  return csv.str();
+}
+
+}  // namespace seg

@@ -1,0 +1,51 @@
+// Time-series recording of a running process: happiness, unhappy counts,
+// type balance and interface length sampled every k flips. Plugs into
+// RunOptions::on_snapshot and serializes to CSV — this is what produces
+// the trajectory data behind Figure 1's panel progression.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/dynamics.h"
+
+namespace seg {
+
+struct TraceRow {
+  std::uint64_t flips = 0;
+  double time = 0.0;
+  double happy_fraction = 0.0;
+  std::uint64_t unhappy = 0;
+  double plus_fraction = 0.0;
+  std::int64_t interface_length = 0;
+};
+
+class TraceRecorder {
+ public:
+  // record_interface: the interface length costs an O(n^2) pass per
+  // sample; disable for hot sweeps.
+  explicit TraceRecorder(bool record_interface = true)
+      : record_interface_(record_interface) {}
+
+  // Captures the model's current statistics as a row.
+  void sample(const SchellingModel& model, std::uint64_t flips, double time);
+
+  // Adapter for RunOptions::on_snapshot.
+  std::function<void(const SchellingModel&, std::uint64_t, double)>
+  callback();
+
+  const std::vector<TraceRow>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+  const TraceRow& back() const { return rows_.back(); }
+
+  // CSV document with a header; one line per sample.
+  std::string to_csv() const;
+
+ private:
+  bool record_interface_;
+  std::vector<TraceRow> rows_;
+};
+
+}  // namespace seg

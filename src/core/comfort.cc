@@ -1,0 +1,134 @@
+#include "core/comfort.h"
+
+#include <cassert>
+
+#include "grid/box_sum.h"
+
+namespace seg {
+
+ComfortModel::ComfortModel(const ComfortParams& params, Rng& rng)
+    : ComfortModel(params, random_spins(params.n, params.p, rng)) {}
+
+ComfortModel::ComfortModel(const ComfortParams& params,
+                           std::vector<std::int8_t> spins)
+    : params_(params),
+      N_(params.neighborhood_size()),
+      k_lo_(params.k_lo()),
+      k_hi_(params.k_hi()),
+      spins_(std::move(spins)),
+      plus_count_(spins_.size(), 0),
+      flippable_(spins_.size()) {
+  assert(params_.valid());
+  assert(spins_.size() ==
+         static_cast<std::size_t>(params_.n) * params_.n);
+  std::vector<std::int32_t> plus_indicator(spins_.size());
+  for (std::size_t i = 0; i < spins_.size(); ++i) {
+    assert(spins_[i] == 1 || spins_[i] == -1);
+    plus_indicator[i] = spins_[i] > 0 ? 1 : 0;
+  }
+  plus_count_ = box_sum_torus(plus_indicator, params_.n, params_.w);
+  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
+    refresh_membership(id);
+  }
+}
+
+std::int8_t ComfortModel::spin_at(int x, int y) const {
+  return spins_[static_cast<std::size_t>(torus_wrap(y, params_.n)) *
+                    params_.n +
+                torus_wrap(x, params_.n)];
+}
+
+std::uint32_t ComfortModel::id_of(int x, int y) const {
+  return static_cast<std::uint32_t>(
+      static_cast<std::size_t>(torus_wrap(y, params_.n)) * params_.n +
+      torus_wrap(x, params_.n));
+}
+
+std::int32_t ComfortModel::same_count(std::uint32_t id) const {
+  return spins_[id] > 0 ? plus_count_[id] : N_ - plus_count_[id];
+}
+
+bool ComfortModel::is_happy(std::uint32_t id) const {
+  const std::int32_t s = same_count(id);
+  return s >= k_lo_ && s <= k_hi_;
+}
+
+bool ComfortModel::flip_makes_happy(std::uint32_t id) const {
+  const std::int32_t after = N_ - same_count(id) + 1;
+  return after >= k_lo_ && after <= k_hi_;
+}
+
+void ComfortModel::refresh_membership(std::uint32_t id) {
+  if (is_flippable(id)) {
+    flippable_.insert(id);
+  } else {
+    flippable_.erase(id);
+  }
+}
+
+void ComfortModel::flip(std::uint32_t id) {
+  const std::int8_t old_spin = spins_[id];
+  spins_[id] = static_cast<std::int8_t>(-old_spin);
+  const std::int32_t delta = old_spin > 0 ? -1 : +1;
+  const int n = params_.n;
+  const int w = params_.w;
+  const int cx = static_cast<int>(id % n);
+  const int cy = static_cast<int>(id / n);
+  for (int dy = -w; dy <= w; ++dy) {
+    const std::size_t row =
+        static_cast<std::size_t>(torus_wrap(cy + dy, n)) * n;
+    for (int dx = -w; dx <= w; ++dx) {
+      const std::uint32_t j =
+          static_cast<std::uint32_t>(row + torus_wrap(cx + dx, n));
+      plus_count_[j] += delta;
+      refresh_membership(j);
+    }
+  }
+}
+
+std::size_t ComfortModel::count_unhappy() const {
+  std::size_t unhappy = 0;
+  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
+    unhappy += !is_happy(id);
+  }
+  return unhappy;
+}
+
+double ComfortModel::happy_fraction() const {
+  return 1.0 - static_cast<double>(count_unhappy()) /
+                   static_cast<double>(spins_.size());
+}
+
+bool ComfortModel::check_invariants() const {
+  const int n = params_.n;
+  const int w = params_.w;
+  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
+    std::int32_t plus = 0;
+    const int cx = static_cast<int>(id % n);
+    const int cy = static_cast<int>(id / n);
+    for (int dy = -w; dy <= w; ++dy) {
+      for (int dx = -w; dx <= w; ++dx) {
+        plus += spin_at(cx + dx, cy + dy) > 0 ? 1 : 0;
+      }
+    }
+    if (plus != plus_count_[id]) return false;
+    if (flippable_.contains(id) != is_flippable(id)) return false;
+  }
+  return true;
+}
+
+ComfortRunResult run_comfort(ComfortModel& model, Rng& rng,
+                             std::uint64_t max_flips) {
+  ComfortRunResult result;
+  while (!model.quiescent() && result.flips < max_flips) {
+    result.final_time +=
+        rng.exponential(static_cast<double>(model.flippable_set().size()));
+    const std::uint32_t id = model.flippable_set().sample(rng);
+    model.flip(id);
+    ++result.flips;
+  }
+  result.quiescent = model.quiescent();
+  return result;
+}
+
+}  // namespace seg

@@ -1,0 +1,104 @@
+// The "uncomfortable majority" variant proposed in the paper's concluding
+// remarks (Sec. V): the baseline model is biased toward segregation
+// because agents flip when too many neighbors differ but never when too
+// many agree. Here an agent is happy iff its same-type fraction lies in a
+// comfort band [tau_lo, tau_hi]; it flips (when its Poisson clock rings)
+// iff it is unhappy and the flip lands it inside the band. tau_hi = 1
+// recovers the paper's model exactly.
+//
+// Unlike the baseline, this dynamics has no Lyapunov function (a flip can
+// reduce aggregate same-type counts), so absorption is not guaranteed;
+// run_comfort() therefore always takes a flip budget.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+#include "core/params.h"
+#include "grid/point.h"
+#include "rng/rng.h"
+
+namespace seg {
+
+struct ComfortParams {
+  int n = 64;
+  int w = 2;
+  double tau_lo = 0.45;  // minimum comfortable same-type fraction
+  double tau_hi = 1.0;   // maximum comfortable same-type fraction
+  double p = 0.5;
+
+  int neighborhood_size() const { return (2 * w + 1) * (2 * w + 1); }
+  // Inclusive integer band [k_lo, k_hi] on the same-type count.
+  int k_lo() const { return happiness_threshold(tau_lo, neighborhood_size()); }
+  int k_hi() const {
+    // floor(tau_hi * N), robust to fp edges (mirror of ceil in k_lo).
+    const double scaled = tau_hi * neighborhood_size();
+    const double nearest = std::nearbyint(scaled);
+    if (std::abs(scaled - nearest) < 1e-9 * neighborhood_size()) {
+      return static_cast<int>(nearest);
+    }
+    return static_cast<int>(std::floor(scaled));
+  }
+  bool valid() const {
+    return n > 0 && w >= 1 && 2 * w + 1 <= n && tau_lo >= 0.0 &&
+           tau_lo <= tau_hi && tau_hi <= 1.0 && p >= 0.0 && p <= 1.0;
+  }
+};
+
+class ComfortModel {
+ public:
+  ComfortModel(const ComfortParams& params, Rng& rng);
+  ComfortModel(const ComfortParams& params, std::vector<std::int8_t> spins);
+
+  const ComfortParams& params() const { return params_; }
+  int side() const { return params_.n; }
+  int neighborhood_size() const { return N_; }
+  std::size_t agent_count() const { return spins_.size(); }
+
+  std::int8_t spin(std::uint32_t id) const { return spins_[id]; }
+  std::int8_t spin_at(int x, int y) const;
+  const std::vector<std::int8_t>& spins() const { return spins_; }
+  std::uint32_t id_of(int x, int y) const;
+
+  std::int32_t same_count(std::uint32_t id) const;
+  bool is_happy(std::uint32_t id) const;
+  bool flip_makes_happy(std::uint32_t id) const;
+  bool is_flippable(std::uint32_t id) const {
+    return !is_happy(id) && flip_makes_happy(id);
+  }
+
+  const AgentSet& flippable_set() const { return flippable_; }
+  bool quiescent() const { return flippable_.empty(); }
+  std::size_t count_unhappy() const;
+  double happy_fraction() const;
+
+  void flip(std::uint32_t id);
+
+  bool check_invariants() const;
+
+ private:
+  void refresh_membership(std::uint32_t id);
+
+  ComfortParams params_;
+  int N_;
+  int k_lo_;
+  int k_hi_;
+  std::vector<std::int8_t> spins_;
+  std::vector<std::int32_t> plus_count_;
+  AgentSet flippable_;
+};
+
+struct ComfortRunResult {
+  std::uint64_t flips = 0;
+  double final_time = 0.0;
+  bool quiescent = false;  // no flippable agent remained
+};
+
+// Event-driven Glauber dynamics with the comfort-band rule. max_flips is
+// mandatory (no termination guarantee).
+ComfortRunResult run_comfort(ComfortModel& model, Rng& rng,
+                             std::uint64_t max_flips);
+
+}  // namespace seg

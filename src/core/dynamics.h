@@ -1,0 +1,57 @@
+// Dynamics engines driving a SchellingModel to its absorbing state.
+//
+//  * run_glauber   — the paper's process: i.i.d. rate-1 Poisson clocks,
+//                    flips happen only when the ringing agent is unhappy
+//                    and flipping makes it happy. Simulated event-driven:
+//                    between effective flips, continuous time advances by
+//                    Exp(1)/|flippable| (superposition of Poisson clocks
+//                    conditioned on an effective ring).
+//  * run_discrete  — the equivalent discrete-time chain the paper states
+//                    (Sec. II-A): each step picks one unhappy agent
+//                    uniformly at random and flips it iff that makes it
+//                    happy. Same absorbing states, integer step counter.
+//  * run_synchronous — classic synchronous ACA update (all flippable
+//                    agents flip simultaneously), included as a baseline;
+//                    may oscillate, so rounds are capped and 2-cycles are
+//                    detected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "core/model.h"
+
+namespace seg {
+
+struct RunOptions {
+  // Stop after this many *effective* flips.
+  std::uint64_t max_flips = std::numeric_limits<std::uint64_t>::max();
+  // Stop when continuous time exceeds this (Glauber only).
+  double max_time = std::numeric_limits<double>::infinity();
+  // If nonzero, invoke on_snapshot every `snapshot_every` flips (and once
+  // at termination).
+  std::uint64_t snapshot_every = 0;
+  std::function<void(const SchellingModel&, std::uint64_t flips, double time)>
+      on_snapshot;
+};
+
+struct RunResult {
+  std::uint64_t flips = 0;     // effective flips performed
+  double final_time = 0.0;     // continuous time at stop (Glauber)
+  bool terminated = false;     // absorbing state reached
+  std::uint64_t rounds = 0;    // synchronous only: rounds executed
+  bool cycle_detected = false; // synchronous only: 2-cycle oscillation
+};
+
+RunResult run_glauber(SchellingModel& model, Rng& rng,
+                      const RunOptions& options = {});
+
+RunResult run_discrete(SchellingModel& model, Rng& rng,
+                       const RunOptions& options = {});
+
+// max_rounds caps the synchronous sweep count.
+RunResult run_synchronous(SchellingModel& model, std::uint64_t max_rounds,
+                          const RunOptions& options = {});
+
+}  // namespace seg

@@ -1,0 +1,42 @@
+// Multi-trial Monte-Carlo driver. Each trial gets an independent RNG
+// stream derived from (seed, trial_index), so results do not depend on the
+// number of worker threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "rng/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace seg {
+
+// Runs `trials` independent evaluations of `metric(trial_index, rng)` and
+// aggregates them. With threads == 1 the trials run inline.
+inline RunningStats run_trials(
+    std::size_t trials, std::uint64_t seed,
+    const std::function<double(std::size_t, Rng&)>& metric,
+    std::size_t threads = 1) {
+  if (threads <= 1) {
+    RunningStats stats;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng = Rng::stream(seed, t);
+      stats.add(metric(t, rng));
+    }
+    return stats;
+  }
+  std::vector<double> values(trials, 0.0);
+  ThreadPool pool(threads);
+  parallel_for(pool, trials, [&](std::size_t t) {
+    Rng rng = Rng::stream(seed, t);
+    values[t] = metric(t, rng);
+  });
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  return stats;
+}
+
+}  // namespace seg

@@ -1,0 +1,98 @@
+#include "core/kawasaki.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace seg {
+
+bool swap_improves(SchellingModel& model, std::uint32_t a, std::uint32_t b) {
+  assert(model.spin(a) != model.spin(b));
+  // Tentatively apply the swap (two flips), inspect, and revert. flip()
+  // restores all invariants, so this is safe even when a and b are within
+  // each other's neighborhoods.
+  model.flip(a);
+  model.flip(b);
+  const bool both_happy = model.is_happy(a) && model.is_happy(b);
+  if (!both_happy) {
+    model.flip(b);
+    model.flip(a);
+  }
+  return both_happy;
+}
+
+namespace {
+
+std::pair<std::size_t, std::size_t> unhappy_partition(
+    const SchellingModel& model) {
+  std::size_t plus = 0;
+  for (const std::uint32_t id : model.unhappy_set().items()) {
+    plus += model.spin(id) > 0;
+  }
+  return {plus, model.unhappy_set().size() - plus};
+}
+
+// Exact absorption check: does any unhappy (+1, -1) pair admit an
+// improving swap? O(U+ * U-) tentative swaps; used sparingly.
+bool improving_swap_exists(SchellingModel& model) {
+  std::vector<std::uint32_t> plus, minus;
+  for (const std::uint32_t id : model.unhappy_set().items()) {
+    (model.spin(id) > 0 ? plus : minus).push_back(id);
+  }
+  for (const std::uint32_t a : plus) {
+    for (const std::uint32_t b : minus) {
+      if (swap_improves(model, a, b)) {
+        // swap_improves leaves the swap applied when it succeeds; revert.
+        model.flip(b);
+        model.flip(a);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+KawasakiResult run_kawasaki(SchellingModel& model, Rng& rng,
+                            const KawasakiOptions& options) {
+  KawasakiResult result;
+  std::uint64_t consecutive_rejects = 0;
+  // The unhappy set only changes on accepted swaps, so the type partition
+  // of the unhappy agents is recomputed per acceptance, not per proposal.
+  auto [plus_unhappy, minus_unhappy] = unhappy_partition(model);
+  while (result.swaps < options.max_swaps) {
+    if (plus_unhappy == 0 || minus_unhappy == 0) {
+      result.terminated = true;
+      break;
+    }
+    // Propose: uniform unhappy pair of opposite types via rejection
+    // sampling on the unhappy set (both classes are nonempty here).
+    const std::uint32_t a = model.unhappy_set().sample(rng);
+    const std::uint32_t b = model.unhappy_set().sample(rng);
+    ++result.proposals;
+    if (model.spin(a) == model.spin(b)) continue;
+    if (swap_improves(model, a, b)) {
+      ++result.swaps;
+      consecutive_rejects = 0;
+      std::tie(plus_unhappy, minus_unhappy) = unhappy_partition(model);
+      continue;
+    }
+    ++consecutive_rejects;
+    if (consecutive_rejects >= options.stale_check_after &&
+        consecutive_rejects % options.stale_check_after == 0) {
+      if (!improving_swap_exists(model)) {
+        result.terminated = true;
+        break;
+      }
+    }
+    if (options.max_consecutive_rejects > 0 &&
+        consecutive_rejects >= options.max_consecutive_rejects) {
+      result.gave_up = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace seg

@@ -1,0 +1,41 @@
+// Kawasaki (closed-system) dynamics baseline (paper Sec. I-A): unhappy
+// agents of opposite types swap locations when the swap makes both happy.
+// The number of agents of each type is conserved — this is the model class
+// of Brandt et al. [23]; the paper's own results are for Glauber dynamics,
+// and this engine exists as the comparison baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "core/dynamics.h"
+#include "core/model.h"
+
+namespace seg {
+
+struct KawasakiOptions {
+  std::uint64_t max_swaps = std::numeric_limits<std::uint64_t>::max();
+  // The exact absorbing-state test (no improving swap exists) costs
+  // O(U+ * U-); we run it only after this many consecutive rejected
+  // proposals, and stop if it certifies absorption. A small cap keeps the
+  // engine honest without quadratic cost per step.
+  std::uint64_t stale_check_after = 5000;
+  // Give up (reporting terminated = false) after this many consecutive
+  // rejections even if the exact test is too expensive; 0 disables.
+  std::uint64_t max_consecutive_rejects = 2'000'000;
+};
+
+struct KawasakiResult {
+  std::uint64_t swaps = 0;
+  std::uint64_t proposals = 0;
+  bool terminated = false;  // certified: no improving swap exists
+  bool gave_up = false;     // stopped on the rejection cap
+};
+
+KawasakiResult run_kawasaki(SchellingModel& model, Rng& rng,
+                            const KawasakiOptions& options = {});
+
+// True iff swapping the types at a and b would leave both agents happy.
+// (a and b must currently hold opposite types.)
+bool swap_improves(SchellingModel& model, std::uint32_t a, std::uint32_t b);
+
+}  // namespace seg

@@ -1,0 +1,206 @@
+#include "core/model.h"
+
+#include <cassert>
+
+#include "grid/box_sum.h"
+#include "grid/torus_grid.h"
+
+namespace seg {
+
+void AgentSet::insert(std::uint32_t id) {
+  assert(id < pos_.size());
+  if (pos_[id] != kAbsent) return;
+  pos_[id] = static_cast<std::uint32_t>(items_.size());
+  items_.push_back(id);
+}
+
+void AgentSet::erase(std::uint32_t id) {
+  assert(id < pos_.size());
+  const std::uint32_t p = pos_[id];
+  if (p == kAbsent) return;
+  const std::uint32_t last = items_.back();
+  items_[p] = last;
+  pos_[last] = p;
+  items_.pop_back();
+  pos_[id] = kAbsent;
+}
+
+std::uint32_t AgentSet::sample(Rng& rng) const {
+  assert(!items_.empty());
+  return items_[rng.uniform_below(items_.size())];
+}
+
+std::vector<Point> neighborhood_offsets(NeighborhoodShape shape, int w) {
+  std::vector<Point> offsets;
+  for (int dy = -w; dy <= w; ++dy) {
+    for (int dx = -w; dx <= w; ++dx) {
+      if (shape == NeighborhoodShape::kVonNeumann &&
+          std::abs(dx) + std::abs(dy) > w) {
+        continue;
+      }
+      offsets.push_back(Point{dx, dy});
+    }
+  }
+  return offsets;
+}
+
+std::vector<std::int8_t> random_spins(int n, double p, Rng& rng) {
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n);
+  for (auto& s : spins) s = rng.bernoulli(p) ? 1 : -1;
+  return spins;
+}
+
+SchellingModel::SchellingModel(const ModelParams& params, Rng& rng)
+    : SchellingModel(params, random_spins(params.n, params.p, rng)) {}
+
+SchellingModel::SchellingModel(const ModelParams& params,
+                               std::vector<std::int8_t> spins)
+    : params_(params),
+      N_(params.neighborhood_size()),
+      k_plus_(params.happy_threshold_of(+1)),
+      k_minus_(params.happy_threshold_of(-1)),
+      offsets_(neighborhood_offsets(params.shape, params.w)),
+      spins_(std::move(spins)),
+      plus_count_(spins_.size(), 0),
+      unhappy_(spins_.size()),
+      flippable_(spins_.size()) {
+  assert(params_.valid());
+  assert(spins_.size() ==
+         static_cast<std::size_t>(params_.n) * params_.n);
+  init_counts_and_sets();
+}
+
+void SchellingModel::init_counts_and_sets() {
+  // 0/1 indicator of +1 spins.
+  std::vector<std::int32_t> plus_indicator(spins_.size());
+  for (std::size_t i = 0; i < spins_.size(); ++i) {
+    assert(spins_[i] == 1 || spins_[i] == -1);
+    plus_indicator[i] = spins_[i] > 0 ? 1 : 0;
+  }
+  if (params_.shape == NeighborhoodShape::kMoore) {
+    // Fast path: separable sliding-window box sum, O(n^2).
+    plus_count_ = box_sum_torus(plus_indicator, params_.n, params_.w);
+  } else {
+    // Generic stencil: one cache-friendly shifted-add pass per offset,
+    // O(n^2 N) at construction only.
+    const int n = params_.n;
+    std::fill(plus_count_.begin(), plus_count_.end(), 0);
+    for (const Point o : offsets_) {
+      for (int y = 0; y < n; ++y) {
+        const std::size_t src_row =
+            static_cast<std::size_t>(torus_wrap(y + o.y, n)) * n;
+        std::int32_t* dst =
+            plus_count_.data() + static_cast<std::size_t>(y) * n;
+        for (int x = 0; x < n; ++x) {
+          dst[x] += plus_indicator[src_row + torus_wrap(x + o.x, n)];
+        }
+      }
+    }
+  }
+  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
+    refresh_membership(id);
+  }
+}
+
+std::int8_t SchellingModel::spin_at(int x, int y) const {
+  return spins_[static_cast<std::size_t>(torus_wrap(y, params_.n)) *
+                    params_.n +
+                torus_wrap(x, params_.n)];
+}
+
+std::uint32_t SchellingModel::id_of(int x, int y) const {
+  return static_cast<std::uint32_t>(
+      static_cast<std::size_t>(torus_wrap(y, params_.n)) * params_.n +
+      torus_wrap(x, params_.n));
+}
+
+Point SchellingModel::point_of(std::uint32_t id) const {
+  return Point{static_cast<int>(id % params_.n),
+               static_cast<int>(id / params_.n)};
+}
+
+std::int32_t SchellingModel::same_count(std::uint32_t id) const {
+  return spins_[id] > 0 ? plus_count_[id] : N_ - plus_count_[id];
+}
+
+bool SchellingModel::flip_makes_happy(std::uint32_t id) const {
+  // After the flip the agent's same-type count becomes
+  // (opposite-type count before) + 1 = N - same_count + 1, and the
+  // relevant threshold is the one of its *new* type.
+  return N_ - same_count(id) + 1 >=
+         happy_threshold_of(static_cast<std::int8_t>(-spins_[id]));
+}
+
+void SchellingModel::refresh_membership(std::uint32_t id) {
+  if (is_happy(id)) {
+    unhappy_.erase(id);
+    flippable_.erase(id);
+    return;
+  }
+  unhappy_.insert(id);
+  if (flip_makes_happy(id)) {
+    flippable_.insert(id);
+  } else {
+    flippable_.erase(id);
+  }
+}
+
+void SchellingModel::flip(std::uint32_t id) {
+  const std::int8_t old_spin = spins_[id];
+  spins_[id] = static_cast<std::int8_t>(-old_spin);
+  const std::int32_t delta = old_spin > 0 ? -1 : +1;
+
+  const int n = params_.n;
+  const int cx = static_cast<int>(id % n);
+  const int cy = static_cast<int>(id / n);
+
+  // Both stencils are symmetric, so exactly the agents whose neighborhood
+  // contains `id` are the stencil translates of `id`: their +1 count
+  // shifts by delta and their classification may change.
+  for (const Point o : offsets_) {
+    const std::uint32_t j = static_cast<std::uint32_t>(
+        static_cast<std::size_t>(torus_wrap(cy + o.y, n)) * n +
+        torus_wrap(cx + o.x, n));
+    plus_count_[j] += delta;
+    refresh_membership(j);
+  }
+}
+
+std::int64_t SchellingModel::lyapunov() const {
+  std::int64_t sum = 0;
+  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
+    sum += same_count(id);
+  }
+  return sum;
+}
+
+double SchellingModel::happy_fraction() const {
+  return 1.0 - static_cast<double>(unhappy_.size()) /
+                   static_cast<double>(spins_.size());
+}
+
+double SchellingModel::plus_fraction() const {
+  std::size_t plus = 0;
+  for (const auto s : spins_) plus += (s > 0);
+  return static_cast<double>(plus) / static_cast<double>(spins_.size());
+}
+
+bool SchellingModel::check_invariants() const {
+  const int n = params_.n;
+  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
+    if (spins_[id] != 1 && spins_[id] != -1) return false;
+    // Recount the neighborhood from scratch.
+    std::int32_t plus = 0;
+    const int cx = static_cast<int>(id % n);
+    const int cy = static_cast<int>(id / n);
+    for (const Point o : offsets_) {
+      plus += spin_at(cx + o.x, cy + o.y) > 0 ? 1 : 0;
+    }
+    if (plus != plus_count_[id]) return false;
+    if (unhappy_.contains(id) != is_unhappy(id)) return false;
+    if (flippable_.contains(id) != is_flippable(id)) return false;
+  }
+  return true;
+}
+
+}  // namespace seg

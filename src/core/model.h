@@ -1,0 +1,142 @@
+// The Schelling model state: spins, incrementally-maintained neighbor
+// counts, and the happy / unhappy / flippable classification of every
+// agent (paper Sec. II-A).
+//
+// Invariants maintained after construction and after every flip():
+//  * plus_count(i) == number of +1 spins in the l-infinity ball of radius
+//    w around i (self included);
+//  * the unhappy and flippable index sets contain exactly the agents for
+//    which is_unhappy() / is_flippable() hold.
+//
+// "Flippable" means unhappy AND the flip would make the agent happy — the
+// paper's Glauber rule. For tau < 1/2 every unhappy agent is flippable
+// (first observation in Sec. II-A); for tau > 1/2 the flippable agents are
+// exactly the paper's "super-unhappy" agents (Sec. IV-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.h"
+#include "grid/point.h"
+#include "rng/rng.h"
+
+namespace seg {
+
+// An O(1) insert/erase/sample index set over agent ids, used for the
+// unhappy and flippable sets. Sampling must be uniform for the dynamics
+// to realize the Poisson-clock law.
+class AgentSet {
+ public:
+  explicit AgentSet(std::size_t capacity) : pos_(capacity, kAbsent) {}
+
+  bool contains(std::uint32_t id) const { return pos_[id] != kAbsent; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  void insert(std::uint32_t id);
+  void erase(std::uint32_t id);
+
+  std::uint32_t sample(Rng& rng) const;
+  std::uint32_t at(std::size_t i) const { return items_[i]; }
+  const std::vector<std::uint32_t>& items() const { return items_; }
+
+ private:
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+  std::vector<std::uint32_t> items_;
+  std::vector<std::uint32_t> pos_;
+};
+
+class SchellingModel {
+ public:
+  // Random Bernoulli(p) initial configuration.
+  SchellingModel(const ModelParams& params, Rng& rng);
+
+  // Explicit initial configuration; spins must be +1/-1, size n*n.
+  SchellingModel(const ModelParams& params, std::vector<std::int8_t> spins);
+
+  const ModelParams& params() const { return params_; }
+  int side() const { return params_.n; }
+  int horizon() const { return params_.w; }
+  int neighborhood_size() const { return N_; }
+  // Threshold for +1 agents (equal to the -1 threshold in the symmetric
+  // model); use happy_threshold_of() in the asymmetric variant.
+  int happy_threshold() const { return k_plus_; }
+  int happy_threshold_of(std::int8_t type) const {
+    return type > 0 ? k_plus_ : k_minus_;
+  }
+  std::size_t agent_count() const { return spins_.size(); }
+
+  std::int8_t spin(std::uint32_t id) const { return spins_[id]; }
+  std::int8_t spin_at(int x, int y) const;
+  const std::vector<std::int8_t>& spins() const { return spins_; }
+
+  std::uint32_t id_of(int x, int y) const;
+  Point point_of(std::uint32_t id) const;
+
+  // Count of +1 spins in the neighborhood of agent id (self included).
+  std::int32_t plus_count(std::uint32_t id) const { return plus_count_[id]; }
+  // Count of agents sharing id's type in its neighborhood (self included).
+  std::int32_t same_count(std::uint32_t id) const;
+
+  bool is_happy(std::uint32_t id) const {
+    return same_count(id) >= happy_threshold_of(spins_[id]);
+  }
+  bool is_unhappy(std::uint32_t id) const { return !is_happy(id); }
+  // Would flipping make the agent happy? (N - same + 1 >= K after flip.)
+  bool flip_makes_happy(std::uint32_t id) const;
+  bool is_flippable(std::uint32_t id) const {
+    return is_unhappy(id) && flip_makes_happy(id);
+  }
+
+  const AgentSet& unhappy_set() const { return unhappy_; }
+  const AgentSet& flippable_set() const { return flippable_; }
+
+  // Flips the spin of `id` and restores all invariants. O(N) work.
+  // Unconditional: dynamics engines only call it on flippable agents, but
+  // the firewall/adversarial experiments may force arbitrary flips.
+  void flip(std::uint32_t id);
+
+  // Paper's termination certificate: the process has stopped when no
+  // unhappy agent can become happy by flipping.
+  bool terminated() const { return flippable_.empty(); }
+
+  // Lyapunov function of Sec. II-A ("Termination"): sum over all agents of
+  // their same-type neighbor count. Strictly increases with every flip of
+  // a flippable agent. O(n^2) to evaluate.
+  std::int64_t lyapunov() const;
+
+  std::size_t count_unhappy() const { return unhappy_.size(); }
+  // Fraction of agents currently happy.
+  double happy_fraction() const;
+  // Fraction of +1 agents.
+  double plus_fraction() const;
+
+  // Full O(n^2 (recount)) invariant audit used by tests and debug builds.
+  bool check_invariants() const;
+
+  // The neighborhood's offset stencil (includes (0,0)); size == N.
+  const std::vector<Point>& offsets() const { return offsets_; }
+
+ private:
+  void init_counts_and_sets();
+  void refresh_membership(std::uint32_t id);
+
+  ModelParams params_;
+  int N_;        // neighborhood size
+  int k_plus_;   // happiness threshold for +1 agents
+  int k_minus_;  // happiness threshold for -1 agents
+  std::vector<Point> offsets_;
+  std::vector<std::int8_t> spins_;
+  std::vector<std::int32_t> plus_count_;
+  AgentSet unhappy_;
+  AgentSet flippable_;
+};
+
+// Offset stencil for a shape/horizon pair, (0,0) included.
+std::vector<Point> neighborhood_offsets(NeighborhoodShape shape, int w);
+
+// Draws a +1/-1 spin field of side n with P(+1) = p.
+std::vector<std::int8_t> random_spins(int n, double p, Rng& rng);
+
+}  // namespace seg

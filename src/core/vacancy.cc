@@ -1,0 +1,242 @@
+#include "core/vacancy.h"
+
+#include <cassert>
+
+#include "grid/box_sum.h"
+
+namespace seg {
+
+std::vector<std::int8_t> random_sites(const VacancyParams& params, Rng& rng) {
+  std::vector<std::int8_t> sites(static_cast<std::size_t>(params.n) *
+                                 params.n);
+  for (auto& s : sites) {
+    if (rng.bernoulli(params.vacancy)) {
+      s = 0;
+    } else {
+      s = rng.bernoulli(params.p) ? 1 : -1;
+    }
+  }
+  return sites;
+}
+
+VacancyModel::VacancyModel(const VacancyParams& params, Rng& rng)
+    : VacancyModel(params, random_sites(params, rng)) {}
+
+VacancyModel::VacancyModel(const VacancyParams& params,
+                           std::vector<std::int8_t> sites)
+    : params_(params),
+      N_(params.neighborhood_size()),
+      sites_(std::move(sites)),
+      plus_count_(sites_.size(), 0),
+      occ_count_(sites_.size(), 0),
+      unhappy_(sites_.size()),
+      vacant_(sites_.size()) {
+  assert(params_.valid());
+  assert(sites_.size() ==
+         static_cast<std::size_t>(params_.n) * params_.n);
+  std::vector<std::int32_t> plus_indicator(sites_.size());
+  std::vector<std::int32_t> occ_indicator(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    assert(sites_[i] == 1 || sites_[i] == -1 || sites_[i] == 0);
+    plus_indicator[i] = sites_[i] > 0 ? 1 : 0;
+    occ_indicator[i] = sites_[i] != 0 ? 1 : 0;
+  }
+  plus_count_ = box_sum_torus(plus_indicator, params_.n, params_.w);
+  occ_count_ = box_sum_torus(occ_indicator, params_.n, params_.w);
+  for (std::uint32_t id = 0; id < sites_.size(); ++id) {
+    if (!occupied(id)) vacant_.insert(id);
+    refresh_membership(id);
+  }
+}
+
+std::int8_t VacancyModel::site_at(int x, int y) const {
+  return sites_[static_cast<std::size_t>(torus_wrap(y, params_.n)) *
+                    params_.n +
+                torus_wrap(x, params_.n)];
+}
+
+std::uint32_t VacancyModel::id_of(int x, int y) const {
+  return static_cast<std::uint32_t>(
+      static_cast<std::size_t>(torus_wrap(y, params_.n)) * params_.n +
+      torus_wrap(x, params_.n));
+}
+
+bool VacancyModel::is_happy(std::uint32_t id) const {
+  assert(occupied(id));
+  // Exclude the agent itself from both tallies.
+  const std::int32_t occupied_others = occ_count_[id] - 1;
+  if (occupied_others == 0) return true;  // isolated agents are content
+  const std::int32_t same_others =
+      (sites_[id] > 0 ? plus_count_[id] : occ_count_[id] - plus_count_[id]) -
+      1;
+  return static_cast<double>(same_others) >=
+         params_.tau * static_cast<double>(occupied_others);
+}
+
+bool VacancyModel::would_be_happy(std::int8_t type, std::uint32_t at) const {
+  assert(type == 1 || type == -1);
+  // Standing at `at`, the agent sees the current occupants of the ball
+  // around `at` (excluding whatever is at `at` itself — callers test
+  // vacant destinations; for occupied ones this evaluates a replacement).
+  const bool self_occupied = occupied(at);
+  const std::int32_t occupied_others =
+      occ_count_[at] - (self_occupied ? 1 : 0);
+  if (occupied_others == 0) return true;
+  std::int32_t same_others =
+      type > 0 ? plus_count_[at] : occ_count_[at] - plus_count_[at];
+  if (self_occupied && sites_[at] == type) --same_others;
+  return static_cast<double>(same_others) >=
+         params_.tau * static_cast<double>(occupied_others);
+}
+
+void VacancyModel::apply_site_delta(std::uint32_t id, std::int8_t type,
+                                    int sign) {
+  const int n = params_.n;
+  const int w = params_.w;
+  const int cx = static_cast<int>(id % n);
+  const int cy = static_cast<int>(id / n);
+  const std::int32_t plus_delta = (type > 0 ? 1 : 0) * sign;
+  for (int dy = -w; dy <= w; ++dy) {
+    const std::size_t row =
+        static_cast<std::size_t>(torus_wrap(cy + dy, n)) * n;
+    for (int dx = -w; dx <= w; ++dx) {
+      const std::uint32_t j =
+          static_cast<std::uint32_t>(row + torus_wrap(cx + dx, n));
+      occ_count_[j] += sign;
+      plus_count_[j] += plus_delta;
+      refresh_membership(j);
+    }
+  }
+}
+
+void VacancyModel::refresh_membership(std::uint32_t id) {
+  if (!occupied(id)) {
+    unhappy_.erase(id);
+    return;
+  }
+  if (is_happy(id)) {
+    unhappy_.erase(id);
+  } else {
+    unhappy_.insert(id);
+  }
+}
+
+void VacancyModel::move(std::uint32_t from, std::uint32_t to) {
+  assert(occupied(from));
+  assert(!occupied(to));
+  const std::int8_t type = sites_[from];
+  sites_[from] = 0;
+  apply_site_delta(from, type, -1);
+  vacant_.insert(from);
+  unhappy_.erase(from);
+
+  sites_[to] = type;
+  vacant_.erase(to);
+  apply_site_delta(to, type, +1);
+  // apply_site_delta(to, ...) already refreshed `to` (it lies in its own
+  // ball), as well as every neighbor of both endpoints.
+}
+
+bool VacancyModel::absorbing_state() const {
+  for (const std::uint32_t agent : unhappy_.items()) {
+    for (const std::uint32_t hole : vacant_.items()) {
+      if (would_be_happy(sites_[agent], hole)) return false;
+    }
+  }
+  return true;
+}
+
+double VacancyModel::happy_fraction() const {
+  const std::size_t agents = agent_total();
+  if (agents == 0) return 1.0;
+  return 1.0 - static_cast<double>(unhappy_.size()) /
+                   static_cast<double>(agents);
+}
+
+double VacancyModel::similarity_index() const {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::uint32_t id = 0; id < sites_.size(); ++id) {
+    if (!occupied(id)) continue;
+    const std::int32_t occupied_others = occ_count_[id] - 1;
+    if (occupied_others == 0) continue;
+    const std::int32_t same_others =
+        (sites_[id] > 0 ? plus_count_[id]
+                        : occ_count_[id] - plus_count_[id]) -
+        1;
+    sum += static_cast<double>(same_others) /
+           static_cast<double>(occupied_others);
+    ++counted;
+  }
+  return counted == 0 ? 1.0 : sum / static_cast<double>(counted);
+}
+
+bool VacancyModel::check_invariants() const {
+  const int n = params_.n;
+  const int w = params_.w;
+  for (std::uint32_t id = 0; id < sites_.size(); ++id) {
+    std::int32_t plus = 0, occ = 0;
+    const int cx = static_cast<int>(id % n);
+    const int cy = static_cast<int>(id / n);
+    for (int dy = -w; dy <= w; ++dy) {
+      for (int dx = -w; dx <= w; ++dx) {
+        const std::int8_t s = site_at(cx + dx, cy + dy);
+        plus += s > 0;
+        occ += s != 0;
+      }
+    }
+    if (plus != plus_count_[id] || occ != occ_count_[id]) return false;
+    if (vacant_.contains(id) != !occupied(id)) return false;
+    if (occupied(id)) {
+      if (unhappy_.contains(id) != !is_happy(id)) return false;
+    } else if (unhappy_.contains(id)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+VacancyRunResult run_vacancy(VacancyModel& model, Rng& rng,
+                             const VacancyRunOptions& options) {
+  VacancyRunResult result;
+  std::uint64_t consecutive_failures = 0;
+  while (result.moves < options.max_moves) {
+    if (model.unhappy_set().empty()) {
+      result.terminated = true;
+      break;
+    }
+    const std::uint32_t agent = model.unhappy_set().sample(rng);
+    ++result.proposals;
+    bool moved = false;
+    for (int attempt = 0; attempt < model.params().relocation_attempts;
+         ++attempt) {
+      const std::uint32_t hole = model.vacant_set().sample(rng);
+      if (model.would_be_happy(model.site(agent), hole)) {
+        model.move(agent, hole);
+        ++result.moves;
+        consecutive_failures = 0;
+        moved = true;
+        break;
+      }
+    }
+    if (moved) continue;
+    ++consecutive_failures;
+    if (consecutive_failures >= options.stale_check_after &&
+        consecutive_failures % options.stale_check_after == 0) {
+      if (model.absorbing_state()) {
+        result.terminated = true;
+        break;
+      }
+    }
+    if (consecutive_failures > 50 * options.stale_check_after) {
+      result.gave_up = true;
+      break;
+    }
+  }
+  if (!result.terminated && model.unhappy_set().empty()) {
+    result.terminated = true;
+  }
+  return result;
+}
+
+}  // namespace seg

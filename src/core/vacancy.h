@@ -1,0 +1,126 @@
+// The classic vacancy-based Schelling model — the mechanism the paper's
+// introduction describes ("Unhappy agents randomly move to vacant
+// locations where they will be happy", Sec. I-A) and of which the Glauber
+// flip dynamics is the open-system abstraction. Included as the historical
+// baseline: a fraction `vacancy` of sites is empty; an unhappy agent
+// relocates to a uniformly sampled vacant site where it would be happy.
+//
+// Happiness follows Schelling's convention: the fraction of same-type
+// agents among the *occupied other* sites of the neighborhood must be at
+// least tau; an agent with no occupied neighbors is happy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+#include "grid/point.h"
+#include "rng/rng.h"
+
+namespace seg {
+
+struct VacancyParams {
+  int n = 64;
+  int w = 2;
+  double tau = 0.45;
+  double vacancy = 0.10;  // fraction of empty sites
+  double p = 0.5;         // split of +1 among occupied sites
+  // Random vacant sites probed per relocation attempt before giving up.
+  int relocation_attempts = 32;
+
+  int neighborhood_size() const { return (2 * w + 1) * (2 * w + 1); }
+  bool valid() const {
+    return n > 0 && w >= 1 && 2 * w + 1 <= n && tau >= 0.0 && tau <= 1.0 &&
+           vacancy > 0.0 && vacancy < 1.0 && p >= 0.0 && p <= 1.0 &&
+           relocation_attempts >= 1;
+  }
+};
+
+class VacancyModel {
+ public:
+  // Site states: +1, -1, or 0 (vacant).
+  VacancyModel(const VacancyParams& params, Rng& rng);
+  VacancyModel(const VacancyParams& params, std::vector<std::int8_t> sites);
+
+  const VacancyParams& params() const { return params_; }
+  int side() const { return params_.n; }
+  std::size_t site_count() const { return sites_.size(); }
+  std::size_t agent_total() const {
+    return sites_.size() - vacant_.size();
+  }
+  std::size_t vacancy_total() const { return vacant_.size(); }
+
+  std::int8_t site(std::uint32_t id) const { return sites_[id]; }
+  std::int8_t site_at(int x, int y) const;
+  const std::vector<std::int8_t>& sites() const { return sites_; }
+  std::uint32_t id_of(int x, int y) const;
+
+  bool occupied(std::uint32_t id) const { return sites_[id] != 0; }
+
+  // Occupied / same-type tallies over the neighborhood (self included in
+  // the stored counts; the happiness predicate removes the agent itself).
+  std::int32_t occupied_count(std::uint32_t id) const {
+    return occ_count_[id];
+  }
+  std::int32_t plus_count(std::uint32_t id) const { return plus_count_[id]; }
+
+  // Schelling happiness for the agent at `id` (must be occupied).
+  bool is_happy(std::uint32_t id) const;
+  // Would an agent of `type` be happy standing at (vacant or not) `at`?
+  bool would_be_happy(std::int8_t type, std::uint32_t at) const;
+
+  const AgentSet& unhappy_set() const { return unhappy_; }
+  const AgentSet& vacant_set() const { return vacant_; }
+  std::size_t count_unhappy() const { return unhappy_.size(); }
+  double happy_fraction() const;
+
+  // Moves the agent at `from` to the vacant site `to`. O(N).
+  void move(std::uint32_t from, std::uint32_t to);
+
+  // Exact absorption test: no unhappy agent has any vacancy where it
+  // would be happy. O(U * V) would-be-happy checks.
+  bool absorbing_state() const;
+
+  // Mean same-type fraction over agents with at least one occupied
+  // neighbor — the classic segregation ("similarity") index.
+  double similarity_index() const;
+
+  bool check_invariants() const;
+
+ private:
+  void refresh_membership(std::uint32_t id);
+  void apply_site_delta(std::uint32_t id, std::int8_t type, int sign);
+
+  VacancyParams params_;
+  int N_;
+  std::vector<std::int8_t> sites_;
+  std::vector<std::int32_t> plus_count_;  // +1 agents in ball, self incl.
+  std::vector<std::int32_t> occ_count_;   // occupied sites in ball
+  AgentSet unhappy_;
+  AgentSet vacant_;
+};
+
+struct VacancyRunResult {
+  std::uint64_t moves = 0;
+  std::uint64_t proposals = 0;
+  bool terminated = false;  // certified absorbing state
+  bool gave_up = false;
+};
+
+struct VacancyRunOptions {
+  std::uint64_t max_moves = ~std::uint64_t{0};
+  // Consecutive failed relocation attempts before running the exact
+  // absorption test.
+  std::uint64_t stale_check_after = 2000;
+};
+
+// Random-order relocation dynamics: pick a uniform unhappy agent, probe
+// `relocation_attempts` uniform vacancies, move to the first where the
+// agent would be happy.
+VacancyRunResult run_vacancy(VacancyModel& model, Rng& rng,
+                             const VacancyRunOptions& options = {});
+
+// Draws a site field with the requested vacancy fraction and +1 split.
+std::vector<std::int8_t> random_sites(const VacancyParams& params, Rng& rng);
+
+}  // namespace seg

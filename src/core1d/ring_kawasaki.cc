@@ -1,0 +1,94 @@
+#include "core1d/ring_kawasaki.h"
+
+#include <cassert>
+#include <vector>
+
+namespace seg {
+
+bool ring_swap_improves(RingModel& model, int i, int j) {
+  assert(model.spin(i) != model.spin(j));
+  model.flip(i);
+  model.flip(j);
+  const bool both_happy = model.is_happy(i) && model.is_happy(j);
+  if (!both_happy) {
+    model.flip(j);
+    model.flip(i);
+  }
+  return both_happy;
+}
+
+namespace {
+
+std::vector<int> unhappy_sites(const RingModel& model) {
+  std::vector<int> sites;
+  for (int i = 0; i < model.size(); ++i) {
+    if (!model.is_happy(i)) sites.push_back(i);
+  }
+  return sites;
+}
+
+bool improving_swap_exists(RingModel& model) {
+  std::vector<int> plus, minus;
+  for (const int i : unhappy_sites(model)) {
+    (model.spin(i) > 0 ? plus : minus).push_back(i);
+  }
+  for (const int a : plus) {
+    for (const int b : minus) {
+      if (ring_swap_improves(model, a, b)) {
+        model.flip(b);
+        model.flip(a);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+RingKawasakiResult run_ring_kawasaki(RingModel& model, Rng& rng,
+                                     const RingKawasakiOptions& options) {
+  RingKawasakiResult result;
+  std::uint64_t consecutive_rejects = 0;
+  // Unhappy sites are recollected after each accepted swap only.
+  std::vector<int> unhappy = unhappy_sites(model);
+  for (;;) {
+    if (result.swaps >= options.max_swaps) break;
+    std::size_t plus_unhappy = 0;
+    for (const int i : unhappy) plus_unhappy += model.spin(i) > 0;
+    if (plus_unhappy == 0 || plus_unhappy == unhappy.size()) {
+      result.terminated = true;
+      break;
+    }
+    bool accepted = false;
+    while (!accepted) {
+      const int a = unhappy[rng.uniform_below(unhappy.size())];
+      const int b = unhappy[rng.uniform_below(unhappy.size())];
+      ++result.proposals;
+      if (model.spin(a) == model.spin(b)) continue;
+      if (ring_swap_improves(model, a, b)) {
+        ++result.swaps;
+        consecutive_rejects = 0;
+        unhappy = unhappy_sites(model);
+        accepted = true;
+        break;
+      }
+      ++consecutive_rejects;
+      if (consecutive_rejects >= options.stale_check_after &&
+          consecutive_rejects % options.stale_check_after == 0) {
+        if (!improving_swap_exists(model)) {
+          result.terminated = true;
+          return result;
+        }
+      }
+      if (options.max_consecutive_rejects > 0 &&
+          consecutive_rejects >= options.max_consecutive_rejects) {
+        result.gave_up = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace seg

@@ -1,0 +1,37 @@
+// Kawasaki (swap) dynamics on the ring — the exact setting of Brandt,
+// Immorlica, Kamath & Kleinberg [23]: unhappy agents of opposite types
+// swap positions when the swap makes both happy; the type counts are
+// conserved. Their theorem: at tau = 1/2 the expected run length in the
+// final configuration is polynomial in the window size — the contrast
+// against the exponential Glauber regimes the paper proves in 2-D.
+#pragma once
+
+#include <cstdint>
+
+#include "core1d/ring_model.h"
+
+namespace seg {
+
+struct RingKawasakiOptions {
+  std::uint64_t max_swaps = ~std::uint64_t{0};
+  // Run the exact no-improving-swap absorption check after this many
+  // consecutive rejected proposals.
+  std::uint64_t stale_check_after = 2000;
+  std::uint64_t max_consecutive_rejects = 500000;
+};
+
+struct RingKawasakiResult {
+  std::uint64_t swaps = 0;
+  std::uint64_t proposals = 0;
+  bool terminated = false;
+  bool gave_up = false;
+};
+
+// True iff swapping the spins at i and j leaves both agents happy. Applies
+// the swap when it improves; otherwise restores the ring.
+bool ring_swap_improves(RingModel& model, int i, int j);
+
+RingKawasakiResult run_ring_kawasaki(RingModel& model, Rng& rng,
+                                     const RingKawasakiOptions& options = {});
+
+}  // namespace seg

@@ -1,0 +1,142 @@
+#include "core1d/ring_model.h"
+
+#include <cassert>
+
+#include "theory/bounds.h"
+
+namespace seg {
+
+RingModel::RingModel(const RingParams& params, Rng& rng)
+    : RingModel(params, [&] {
+        std::vector<std::int8_t> spins(params.n);
+        for (auto& s : spins) s = rng.bernoulli(params.p) ? 1 : -1;
+        return spins;
+      }()) {}
+
+RingModel::RingModel(const RingParams& params, std::vector<std::int8_t> spins)
+    : params_(params),
+      N_(params.neighborhood_size()),
+      K_(happiness_threshold(params.tau, N_)),
+      spins_(std::move(spins)),
+      plus_count_(spins_.size(), 0),
+      flip_pos_(spins_.size(), kAbsent) {
+  assert(params_.valid());
+  assert(spins_.size() == static_cast<std::size_t>(params_.n));
+  // Initial sliding-window counts.
+  std::int32_t acc = 0;
+  for (int d = -params_.w; d <= params_.w; ++d) {
+    acc += spins_[wrap(d)] > 0 ? 1 : 0;
+  }
+  plus_count_[0] = acc;
+  for (int i = 1; i < params_.n; ++i) {
+    acc += spins_[wrap(i + params_.w)] > 0 ? 1 : 0;
+    acc -= spins_[wrap(i - 1 - params_.w)] > 0 ? 1 : 0;
+    plus_count_[i] = acc;
+  }
+  for (int i = 0; i < params_.n; ++i) refresh_membership(i);
+}
+
+std::int32_t RingModel::same_count(int i) const {
+  const int j = wrap(i);
+  return spins_[j] > 0 ? plus_count_[j] : N_ - plus_count_[j];
+}
+
+bool RingModel::flip_makes_happy(int i) const {
+  return N_ - same_count(i) + 1 >= K_;
+}
+
+void RingModel::set_insert(std::uint32_t i) {
+  if (flip_pos_[i] != kAbsent) return;
+  flip_pos_[i] = static_cast<std::uint32_t>(flip_items_.size());
+  flip_items_.push_back(i);
+}
+
+void RingModel::set_erase(std::uint32_t i) {
+  const std::uint32_t p = flip_pos_[i];
+  if (p == kAbsent) return;
+  const std::uint32_t last = flip_items_.back();
+  flip_items_[p] = last;
+  flip_pos_[last] = p;
+  flip_items_.pop_back();
+  flip_pos_[i] = kAbsent;
+}
+
+void RingModel::refresh_membership(int i) {
+  const auto id = static_cast<std::uint32_t>(wrap(i));
+  if (is_flippable(static_cast<int>(id))) {
+    set_insert(id);
+  } else {
+    set_erase(id);
+  }
+}
+
+void RingModel::flip(int i) {
+  const int c = wrap(i);
+  const std::int8_t old_spin = spins_[c];
+  spins_[c] = static_cast<std::int8_t>(-old_spin);
+  const std::int32_t delta = old_spin > 0 ? -1 : +1;
+  for (int d = -params_.w; d <= params_.w; ++d) {
+    const int j = wrap(c + d);
+    plus_count_[j] += delta;
+    refresh_membership(j);
+  }
+}
+
+std::uint64_t RingModel::run_glauber(Rng& rng, std::uint64_t max_flips) {
+  std::uint64_t flips = 0;
+  while (!terminated() && flips < max_flips) {
+    const std::uint32_t id =
+        flip_items_[rng.uniform_below(flip_items_.size())];
+    flip(static_cast<int>(id));
+    ++flips;
+  }
+  return flips;
+}
+
+std::vector<int> RingModel::run_lengths() const {
+  std::vector<int> lengths;
+  const int n = params_.n;
+  // Find a boundary to anchor the scan; if none, the ring is monochromatic.
+  int start = -1;
+  for (int i = 0; i < n; ++i) {
+    if (spins_[i] != spins_[wrap(i - 1)]) {
+      start = i;
+      break;
+    }
+  }
+  if (start < 0) return {n};
+  int run = 1;
+  for (int k = 1; k < n; ++k) {
+    const int i = wrap(start + k);
+    if (spins_[i] == spins_[wrap(i - 1)]) {
+      ++run;
+    } else {
+      lengths.push_back(run);
+      run = 1;
+    }
+  }
+  lengths.push_back(run);
+  return lengths;
+}
+
+double RingModel::mean_run_length() const {
+  const auto lengths = run_lengths();
+  std::size_t total = 0;
+  for (const int l : lengths) total += l;
+  return static_cast<double>(total) / static_cast<double>(lengths.size());
+}
+
+bool RingModel::check_invariants() const {
+  for (int i = 0; i < params_.n; ++i) {
+    std::int32_t plus = 0;
+    for (int d = -params_.w; d <= params_.w; ++d) {
+      plus += spins_[wrap(i + d)] > 0 ? 1 : 0;
+    }
+    if (plus != plus_count_[i]) return false;
+    const bool in_set = flip_pos_[i] != kAbsent;
+    if (in_set != is_flippable(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace seg

@@ -1,0 +1,92 @@
+// One-dimensional Schelling segregation on a ring — the baseline setting
+// of Brandt et al. [23] (Kawasaki, tau = 1/2: polynomial run lengths) and
+// Barmpalias et al. [24] (transitions at tau* ~ 0.35; Glauber symmetric
+// around 1/2). The paper's Sec. I-B background compares against these
+// results; this module reproduces them empirically.
+//
+// Each of the n sites of a ring holds a +1/-1 agent; the neighborhood of
+// an agent is the 2w+1 window centered on it (self included). Happiness
+// and flippability are defined exactly as in the 2-D model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace seg {
+
+struct RingParams {
+  int n = 1 << 12;    // ring size
+  int w = 4;          // window radius; neighborhood size 2w+1
+  double tau = 0.5;   // intolerance
+  double p = 0.5;     // initial Bernoulli parameter for +1
+
+  int neighborhood_size() const { return 2 * w + 1; }
+  bool valid() const {
+    return n > 0 && w >= 1 && 2 * w + 1 <= n && tau >= 0.0 && tau <= 1.0;
+  }
+};
+
+class RingModel {
+ public:
+  RingModel(const RingParams& params, Rng& rng);
+  RingModel(const RingParams& params, std::vector<std::int8_t> spins);
+
+  const RingParams& params() const { return params_; }
+  int size() const { return params_.n; }
+  int happy_threshold() const { return K_; }
+
+  std::int8_t spin(int i) const { return spins_[wrap(i)]; }
+  const std::vector<std::int8_t>& spins() const { return spins_; }
+
+  std::int32_t same_count(int i) const;
+  bool is_happy(int i) const { return same_count(i) >= K_; }
+  bool flip_makes_happy(int i) const;
+  bool is_flippable(int i) const {
+    return !is_happy(i) && flip_makes_happy(i);
+  }
+
+  std::size_t flippable_count() const { return flip_items_.size(); }
+  bool terminated() const { return flip_items_.empty(); }
+  const std::vector<std::uint32_t>& flippable_items() const {
+    return flip_items_;
+  }
+
+  void flip(int i);
+
+  // Runs Glauber dynamics to absorption (or max_flips); returns the number
+  // of flips performed.
+  std::uint64_t run_glauber(Rng& rng,
+                            std::uint64_t max_flips = ~std::uint64_t{0});
+
+  // Lengths of the maximal monochromatic arcs ("run lengths"); a fully
+  // monochromatic ring reports a single run of length n.
+  std::vector<int> run_lengths() const;
+
+  // Mean run length; the 1-D literature's segregation statistic.
+  double mean_run_length() const;
+
+  bool check_invariants() const;
+
+ private:
+  int wrap(int i) const {
+    i %= params_.n;
+    return i < 0 ? i + params_.n : i;
+  }
+  void refresh_membership(int i);
+  void set_insert(std::uint32_t i);
+  void set_erase(std::uint32_t i);
+
+  RingParams params_;
+  int N_;
+  int K_;
+  std::vector<std::int8_t> spins_;
+  std::vector<std::int32_t> plus_count_;
+  // Compact O(1) insert/erase/sample index set of flippable agents.
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+  std::vector<std::uint32_t> flip_items_;
+  std::vector<std::uint32_t> flip_pos_;
+};
+
+}  // namespace seg

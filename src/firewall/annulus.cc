@@ -1,0 +1,119 @@
+#include "firewall/annulus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "theory/bounds.h"
+
+namespace seg {
+
+namespace {
+
+// Classification of a site relative to the annulus geometry.
+enum class Zone : std::uint8_t { kExterior, kAnnulus, kInterior };
+
+Zone classify(Point center, Point site, double r, int w, int n) {
+  const double d =
+      std::sqrt(static_cast<double>(torus_l2_sq(center, site, n)));
+  const double inner = r - std::sqrt(2.0) * w;
+  if (d > r) return Zone::kExterior;
+  if (d >= inner) return Zone::kAnnulus;
+  return Zone::kInterior;
+}
+
+std::vector<Zone> classify_all(Point center, double r, int w, int n) {
+  std::vector<Zone> zones(static_cast<std::size_t>(n) * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      zones[static_cast<std::size_t>(y) * n + x] =
+          classify(center, Point{x, y}, r, w, n);
+    }
+  }
+  return zones;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> annulus_sites(Point center, double r, int w,
+                                         int n) {
+  const auto zones = classify_all(center, r, w, n);
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    if (zones[i] == Zone::kAnnulus) out.push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> annulus_interior(Point center, double r, int w,
+                                            int n) {
+  const auto zones = classify_all(center, r, w, n);
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    if (zones[i] == Zone::kInterior) {
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+FirewallCertificate firewall_certificate(Point center, double r, int w,
+                                         double tau, int n) {
+  assert(2 * static_cast<int>(std::ceil(r)) + 1 <= n);
+  const auto zones = classify_all(center, r, w, n);
+  const int N = (2 * w + 1) * (2 * w + 1);
+  const int K = happiness_threshold(tau, N);
+
+  FirewallCertificate cert;
+  cert.min_margin = N;  // upper bound; tightened below
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      if (zones[static_cast<std::size_t>(y) * n + x] != Zone::kAnnulus) {
+        continue;
+      }
+      ++cert.annulus_size;
+      // Worst case: only annulus + interior sites share the agent's type.
+      int same = 0;
+      for (int dy = -w; dy <= w; ++dy) {
+        const std::size_t row =
+            static_cast<std::size_t>(torus_wrap(y + dy, n)) * n;
+        for (int dx = -w; dx <= w; ++dx) {
+          const Zone z = zones[row + torus_wrap(x + dx, n)];
+          same += (z != Zone::kExterior);
+        }
+      }
+      cert.min_margin = std::min(cert.min_margin, same - K);
+    }
+  }
+  cert.stable = cert.annulus_size > 0 && cert.min_margin >= 0;
+  return cert;
+}
+
+int min_stable_firewall_radius(int w, double tau, int n, int r_lo, int r_hi) {
+  assert(r_lo >= 1 && r_lo <= r_hi);
+  const Point center{n / 2, n / 2};
+  for (int r = r_lo; r <= r_hi; ++r) {
+    if (2 * r + 1 > n) break;
+    if (firewall_certificate(center, static_cast<double>(r), w, tau, n)
+            .stable) {
+      return r;
+    }
+  }
+  return -1;
+}
+
+std::vector<std::int8_t> make_firewall_config(Point center, double r, int w,
+                                              int n,
+                                              std::int8_t inside_type) {
+  assert(inside_type == 1 || inside_type == -1);
+  const auto zones = classify_all(center, r, w, n);
+  std::vector<std::int8_t> spins(zones.size());
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    spins[i] = zones[i] == Zone::kExterior
+                   ? static_cast<std::int8_t>(-inside_type)
+                   : inside_type;
+  }
+  return spins;
+}
+
+}  // namespace seg

@@ -1,0 +1,51 @@
+// Annular firewalls (paper Sec. IV-A, Lemma 9).
+//
+// A firewall of radius r centered at u is the set of agents in the annulus
+//   A_r(u) = { y : r - sqrt(2) w <= ||u - y||_2 <= r },
+// all of one type. Once monochromatic it remains so: every firewall agent
+// keeps at least K same-type neighbors even in the worst case where every
+// agent outside the annulus-plus-interior is of the opposite type. This
+// module constructs annuli and checks that worst-case stability
+// certificate exactly (finite-n geometry, no asymptotics).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/point.h"
+
+namespace seg {
+
+// Site ids (y * n + x) of the annulus A_r(center) on the n-torus.
+std::vector<std::uint32_t> annulus_sites(Point center, double r, int w,
+                                         int n);
+
+// Site ids of the open interior { y : ||center - y||_2 < r - sqrt(2) w }.
+std::vector<std::uint32_t> annulus_interior(Point center, double r, int w,
+                                            int n);
+
+struct FirewallCertificate {
+  bool stable = false;
+  // Minimum over annulus agents of (same-type neighbors in the worst
+  // case) - K; stable iff >= 0. The worst case counts only annulus and
+  // interior sites as same-type.
+  int min_margin = 0;
+  std::size_t annulus_size = 0;
+};
+
+// Exact Lemma 9 check for the given geometry and intolerance. The annulus
+// must fit on the torus (2 * ceil(r) + 1 <= n).
+FirewallCertificate firewall_certificate(Point center, double r, int w,
+                                         double tau, int n);
+
+// Smallest integer radius in [r_lo, r_hi] whose firewall certificate is
+// stable, or -1 if none. Used to probe how Lemma 9's "sufficiently large"
+// radius scales with w.
+int min_stable_firewall_radius(int w, double tau, int n, int r_lo, int r_hi);
+
+// Builds a spin configuration: annulus and interior of `inside_type`,
+// everything else of the opposite type. For dynamic stability tests.
+std::vector<std::int8_t> make_firewall_config(Point center, double r, int w,
+                                              int n, std::int8_t inside_type);
+
+}  // namespace seg

@@ -1,0 +1,66 @@
+#include "firewall/expansion.h"
+
+#include <algorithm>
+
+namespace seg {
+
+bool placement_makes_minus_unhappy(const SchellingModel& model,
+                                   Point block_center, int block_r,
+                                   Point agent) {
+  const int w = model.horizon();
+  const int n = model.side();
+  // Same-type count of the (-1) agent after the hypothetical placement:
+  // start from its current count and subtract the (-1) sites of its
+  // neighborhood that the block overwrites with (+1).
+  const std::uint32_t id = model.id_of(agent.x, agent.y);
+  std::int32_t same = model.same_count(id);
+  for (int dy = -w; dy <= w; ++dy) {
+    for (int dx = -w; dx <= w; ++dx) {
+      const Point p{agent.x + dx, agent.y + dy};
+      if (torus_linf(p, block_center, n) > block_r) continue;
+      if (model.spin_at(p.x, p.y) < 0) --same;
+    }
+  }
+  // The agent itself is outside the block (callers place it on the
+  // boundary ring), so its own contribution (+1 to same) is untouched.
+  return same < model.happy_threshold_of(-1);
+}
+
+ExpansionRegionReport check_region_of_expansion(const SchellingModel& model,
+                                                Point center, int region_r) {
+  const int n = model.side();
+  const int block_r = std::max(1, model.horizon() / 2);
+  ExpansionRegionReport report;
+  report.is_region_of_expansion = true;
+  for (int dy = -region_r; dy <= region_r; ++dy) {
+    for (int dx = -region_r; dx <= region_r; ++dx) {
+      const Point block_center{torus_wrap(center.x + dx, n),
+                               torus_wrap(center.y + dy, n)};
+      ++report.placements_tested;
+      // Boundary ring: sites at l-infinity distance exactly block_r + 1.
+      const int ring = block_r + 1;
+      bool placement_ok = true;
+      for (int by = -ring; by <= ring && placement_ok; ++by) {
+        for (int bx = -ring; bx <= ring; ++bx) {
+          if (std::max(std::abs(bx), std::abs(by)) != ring) continue;
+          const Point agent{torus_wrap(block_center.x + bx, n),
+                            torus_wrap(block_center.y + by, n)};
+          if (model.spin_at(agent.x, agent.y) >= 0) continue;  // only (-1)
+          if (!placement_makes_minus_unhappy(model, block_center, block_r,
+                                             agent)) {
+            placement_ok = false;
+            break;
+          }
+        }
+      }
+      if (!placement_ok) {
+        report.is_region_of_expansion = false;
+        if (report.first_failure.x < 0) report.first_failure = block_center;
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace seg

@@ -1,0 +1,37 @@
+// Region of expansion (paper, Lemma 8): a neighborhood is a region of
+// expansion when placing a monochromatic (+1) w-block (radius floor(w/2))
+// anywhere inside it makes every (-1) agent on the block's outside
+// boundary unhappy with probability one — the geometric condition that
+// lets a seeded monochromatic block spread until it fills the firewall
+// interior. This module checks the property exactly on a concrete
+// configuration (no probability left: the paper's "probability one" is a
+// deterministic count condition given the spins).
+#pragma once
+
+#include <cstdint>
+
+#include "core/model.h"
+#include "grid/point.h"
+
+namespace seg {
+
+struct ExpansionRegionReport {
+  bool is_region_of_expansion = false;
+  // Number of placements tested and the first failing placement (if any).
+  std::int64_t placements_tested = 0;
+  Point first_failure{-1, -1};
+};
+
+// Would placing an all-(+1) block of radius block_r at `block_center` make
+// the (-1) agent at `agent` unhappy? Counts the agent's same-type
+// neighbors after hypothetically overwriting the block with (+1).
+bool placement_makes_minus_unhappy(const SchellingModel& model,
+                                   Point block_center, int block_r,
+                                   Point agent);
+
+// Checks Lemma 8's condition over every placement of the w-block whose
+// center lies within l-infinity distance `region_r` of `center`.
+ExpansionRegionReport check_region_of_expansion(const SchellingModel& model,
+                                                Point center, int region_r);
+
+}  // namespace seg

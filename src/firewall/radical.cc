@@ -1,0 +1,166 @@
+#include "firewall/radical.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "theory/bounds.h"
+#include "theory/exponents.h"
+
+namespace seg {
+
+namespace {
+
+// Counts agents of type `type` in the radius-r ball around center.
+std::int64_t count_type_in_ball(const SchellingModel& model, Point center,
+                                int r, std::int8_t type) {
+  std::int64_t count = 0;
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      count += model.spin_at(center.x + dx, center.y + dy) == type;
+    }
+  }
+  return count;
+}
+
+bool radical_test(const SchellingModel& model, Point center,
+                  const RadicalParams& params, std::int8_t minority,
+                  double effective_tau) {
+  const int w = model.horizon();
+  const int N = model.neighborhood_size();
+  const int rr = radical_region_radius(w, params.eps_prime);
+  if (2 * rr + 1 > model.side()) return false;
+  const std::int64_t region_size = neighborhood_size(rr);
+  const double deflated =
+      effective_tau *
+      (1.0 - 1.0 / (effective_tau *
+                    std::pow(static_cast<double>(N), 0.5 - params.eps)));
+  const double bound = deflated * static_cast<double>(region_size);
+  const std::int64_t minority_count =
+      count_type_in_ball(model, center, rr, minority);
+  return static_cast<double>(minority_count) < bound;
+}
+
+}  // namespace
+
+int radical_region_radius(int w, double eps_prime) {
+  return static_cast<int>(std::floor((1.0 + eps_prime) * w));
+}
+
+bool is_radical_region(const SchellingModel& model, Point center,
+                       const RadicalParams& params, std::int8_t minority) {
+  return radical_test(model, center, params, minority, model.params().tau);
+}
+
+double tau_bar(double tau, int N) {
+  return 1.0 - tau + 2.0 / static_cast<double>(N);
+}
+
+bool is_super_radical_region(const SchellingModel& model, Point center,
+                             const RadicalParams& params,
+                             std::int8_t minority) {
+  assert(model.params().tau > 0.5);
+  return radical_test(model, center, params, minority,
+                      tau_bar(model.params().tau, model.neighborhood_size()));
+}
+
+std::vector<Point> find_radical_regions(const SchellingModel& model,
+                                        const RadicalParams& params,
+                                        std::int8_t minority) {
+  std::vector<Point> centers;
+  const int n = model.side();
+  const bool super = model.params().tau > 0.5;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const Point c{x, y};
+      const bool hit = super
+                           ? is_super_radical_region(model, c, params, minority)
+                           : is_radical_region(model, c, params, minority);
+      if (hit) centers.push_back(c);
+    }
+  }
+  return centers;
+}
+
+NucleusCheck check_unhappy_nucleus(const SchellingModel& model, Point center,
+                                   const RadicalParams& params,
+                                   std::int8_t minority) {
+  const int w = model.horizon();
+  const int N = model.neighborhood_size();
+  const int nucleus_r =
+      std::max(1, static_cast<int>(std::floor(params.eps_prime * w)));
+  NucleusCheck check;
+  for (int dy = -nucleus_r; dy <= nucleus_r; ++dy) {
+    for (int dx = -nucleus_r; dx <= nucleus_r; ++dx) {
+      const Point p{center.x + dx, center.y + dy};
+      if (model.spin_at(p.x, p.y) != minority) continue;
+      ++check.minority_in_nucleus;
+      const std::uint32_t id = model.id_of(p.x, p.y);
+      if (model.is_unhappy(id)) ++check.unhappy_minority_in_nucleus;
+    }
+  }
+  // Lemma 4's count: floor(tau * eps'^2 N) - N^{1/2+eps} (the paper's
+  // bound for the number of unhappy minority agents in the nucleus).
+  const double target =
+      model.params().tau * params.eps_prime * params.eps_prime *
+          static_cast<double>(N) -
+      std::pow(static_cast<double>(N), 0.5 + params.eps);
+  check.required = std::max<std::int64_t>(
+      0, static_cast<std::int64_t>(std::floor(target)));
+  check.holds = check.unhappy_minority_in_nucleus >= check.required;
+  return check;
+}
+
+ExpansionResult try_expand_radical_region(const SchellingModel& model,
+                                          Point center,
+                                          const RadicalParams& params,
+                                          std::int8_t minority) {
+  const int w = model.horizon();
+  const int rr = radical_region_radius(w, params.eps_prime);
+  const int core_r = std::max(1, w / 2);
+  const auto budget =
+      static_cast<std::uint64_t>(w + 1) * static_cast<std::uint64_t>(w + 1);
+
+  // Scratch copy: flips here do not touch the caller's model.
+  SchellingModel scratch(model.params(), model.spins());
+  ExpansionResult result;
+
+  const auto core_is_majority = [&] {
+    for (int dy = -core_r; dy <= core_r; ++dy) {
+      for (int dx = -core_r; dx <= core_r; ++dx) {
+        if (scratch.spin_at(center.x + dx, center.y + dy) == minority) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  while (result.flips_used < budget) {
+    if (core_is_majority()) {
+      result.expanded = true;
+      return result;
+    }
+    // Find a flippable minority agent inside the radical region; prefer
+    // agents nearest the center so the core clears first.
+    std::int64_t best_dist = -1;
+    std::uint32_t best_id = 0;
+    for (const std::uint32_t id : scratch.flippable_set().items()) {
+      if (scratch.spin(id) != minority) continue;
+      const Point p = scratch.point_of(id);
+      const int d = torus_linf(p, center, scratch.side());
+      if (d > rr) continue;
+      if (best_dist < 0 || d < best_dist) {
+        best_dist = d;
+        best_id = id;
+      }
+    }
+    if (best_dist < 0) break;  // no flippable minority agent in the region
+    scratch.flip(best_id);
+    ++result.flips_used;
+  }
+  result.expanded = core_is_majority();
+  return result;
+}
+
+}  // namespace seg

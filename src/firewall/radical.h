@@ -1,0 +1,76 @@
+// Radical regions, unhappy nuclei, and expandability (paper Sec. III,
+// Lemmas 4-6), plus the super-radical variant for tau > 1/2 (Sec. IV-C).
+//
+// A radical region (for the +1 type) is a neighborhood of radius
+// (1 + eps') w containing fewer than tau^ * |region| agents of type (-1),
+// where tau^ = tau [1 - 1/(tau N^{1/2-eps})]. Such a region contains a
+// nucleus of unhappy (-1) agents w.h.p. (Lemma 4), and for eps' > f(tau)
+// a sequence of at most (w+1)^2 flips inside it turns the central
+// w-block monochromatic (+1) (Lemma 5) — the trigger of the whole
+// segregation cascade.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/model.h"
+#include "grid/point.h"
+
+namespace seg {
+
+struct RadicalParams {
+  double eps_prime = 0.3;  // region oversize factor; must exceed f(tau)
+  double eps = 0.25;       // concentration exponent in (0, 1/2)
+};
+
+// Radius of a radical region in sites: floor((1 + eps') w).
+int radical_region_radius(int w, double eps_prime);
+
+// Is the radius-(1+eps')w neighborhood centered at `center` a radical
+// region for `minority` (the type that must be scarce)?
+bool is_radical_region(const SchellingModel& model, Point center,
+                       const RadicalParams& params, std::int8_t minority);
+
+// Scans every center; returns centers of radical regions for `minority`.
+std::vector<Point> find_radical_regions(const SchellingModel& model,
+                                        const RadicalParams& params,
+                                        std::int8_t minority);
+
+// Lemma 4 empirical check: the nucleus N_{eps' w} at the center holds at
+// least floor(tau * (eps' w ball size)) - N^{1/2+eps} unhappy agents of
+// the minority type.
+struct NucleusCheck {
+  std::int64_t minority_in_nucleus = 0;
+  std::int64_t unhappy_minority_in_nucleus = 0;
+  std::int64_t required = 0;
+  bool holds = false;
+};
+NucleusCheck check_unhappy_nucleus(const SchellingModel& model, Point center,
+                                   const RadicalParams& params,
+                                   std::int8_t minority);
+
+// Lemma 5 / expandability: greedily flips flippable `minority` agents
+// inside the radical region (on a scratch copy of the model) and reports
+// whether the central w-block (radius floor(w/2)) became monochromatic of
+// the majority type within (w+1)^2 flips.
+struct ExpansionResult {
+  bool expanded = false;
+  std::uint64_t flips_used = 0;
+};
+ExpansionResult try_expand_radical_region(const SchellingModel& model,
+                                          Point center,
+                                          const RadicalParams& params,
+                                          std::int8_t minority);
+
+// tau-bar of Sec. IV-C: the effective threshold governing super-unhappy
+// agents for tau > 1/2.
+double tau_bar(double tau, int N);
+
+// Super-radical region test for tau > 1/2 (Sec. IV-C): same geometry, with
+// tau replaced by tau-bar and the deflation applied to tau-bar.
+bool is_super_radical_region(const SchellingModel& model, Point center,
+                             const RadicalParams& params,
+                             std::int8_t minority);
+
+}  // namespace seg

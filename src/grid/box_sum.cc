@@ -1,0 +1,70 @@
+#include "grid/box_sum.h"
+
+#include <cassert>
+
+#include "grid/point.h"
+
+namespace seg {
+
+namespace {
+
+// Horizontal pass: out(x, y) = sum_{dx=-w..w} in(wrap(x+dx), y).
+void horizontal_window(const std::vector<std::int32_t>& in, int n, int w,
+                       std::vector<std::int32_t>& out) {
+  for (int y = 0; y < n; ++y) {
+    const std::int32_t* row = in.data() + static_cast<std::size_t>(y) * n;
+    std::int32_t* orow = out.data() + static_cast<std::size_t>(y) * n;
+    std::int32_t acc = 0;
+    for (int dx = -w; dx <= w; ++dx) acc += row[torus_wrap(dx, n)];
+    orow[0] = acc;
+    for (int x = 1; x < n; ++x) {
+      acc += row[torus_wrap(x + w, n)];
+      acc -= row[torus_wrap(x - 1 - w, n)];
+      orow[x] = acc;
+    }
+  }
+}
+
+// Vertical pass: out(x, y) = sum_{dy=-w..w} in(x, wrap(y+dy)).
+void vertical_window(const std::vector<std::int32_t>& in, int n, int w,
+                     std::vector<std::int32_t>& out) {
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(n), 0);
+  for (int dy = -w; dy <= w; ++dy) {
+    const std::int32_t* row =
+        in.data() + static_cast<std::size_t>(torus_wrap(dy, n)) * n;
+    for (int x = 0; x < n; ++x) acc[x] += row[x];
+  }
+  for (int x = 0; x < n; ++x) out[x] = acc[x];
+  for (int y = 1; y < n; ++y) {
+    const std::int32_t* add =
+        in.data() + static_cast<std::size_t>(torus_wrap(y + w, n)) * n;
+    const std::int32_t* sub =
+        in.data() + static_cast<std::size_t>(torus_wrap(y - 1 - w, n)) * n;
+    std::int32_t* orow = out.data() + static_cast<std::size_t>(y) * n;
+    for (int x = 0; x < n; ++x) {
+      acc[x] += add[x] - sub[x];
+      orow[x] = acc[x];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::int32_t> box_sum_torus(const std::vector<std::int32_t>& values,
+                                        int n, int w) {
+  assert(n > 0 && w >= 0 && 2 * w + 1 <= n);
+  assert(values.size() == static_cast<std::size_t>(n) * n);
+  std::vector<std::int32_t> tmp(values.size());
+  std::vector<std::int32_t> out(values.size());
+  horizontal_window(values, n, w, tmp);
+  vertical_window(tmp, n, w, out);
+  return out;
+}
+
+std::vector<std::int32_t> box_sum_torus(const std::vector<std::uint8_t>& values,
+                                        int n, int w) {
+  std::vector<std::int32_t> ints(values.begin(), values.end());
+  return box_sum_torus(ints, n, w);
+}
+
+}  // namespace seg

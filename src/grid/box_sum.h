@@ -1,0 +1,24 @@
+// Separable sliding-window box sums on the torus.
+//
+// Given per-site integer values v(x, y), computes for every site the sum of
+// v over the l-infinity ball of radius w (a (2w+1) x (2w+1) box, wrapping).
+// Two passes of 1-D sliding windows give O(n^2) total work independent of
+// w — this is how the Schelling model initializes its per-agent neighbor
+// counts on large grids (n = 1000, w = 10 in the paper's Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace seg {
+
+// values.size() must be n*n (row-major, index = y*n + x); requires
+// 2*w + 1 <= n. Returns the box sums in the same layout.
+std::vector<std::int32_t> box_sum_torus(const std::vector<std::int32_t>& values,
+                                        int n, int w);
+
+// Convenience overload for 0/1 grids stored as bytes.
+std::vector<std::int32_t> box_sum_torus(const std::vector<std::uint8_t>& values,
+                                        int n, int w);
+
+}  // namespace seg

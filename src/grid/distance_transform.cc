@@ -1,0 +1,83 @@
+#include "grid/distance_transform.h"
+
+#include <cassert>
+#include <vector>
+
+#include "grid/point.h"
+
+namespace seg {
+
+std::vector<std::int32_t> chessboard_distance_torus(
+    const std::vector<std::uint8_t>& sources, int n) {
+  assert(n > 0);
+  const std::size_t total = static_cast<std::size_t>(n) * n;
+  assert(sources.size() == total);
+  std::vector<std::int32_t> dist(total, -1);
+
+  // Ring buffer BFS frontier; each site enters the queue at most once.
+  std::vector<std::uint32_t> queue;
+  queue.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    if (sources[i]) {
+      dist[i] = 0;
+      queue.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  if (queue.empty()) return dist;
+
+  static constexpr int kDx[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+  static constexpr int kDy[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t cur = queue[head];
+    const int x = static_cast<int>(cur % n);
+    const int y = static_cast<int>(cur / n);
+    const std::int32_t d = dist[cur];
+    for (int k = 0; k < 8; ++k) {
+      const int nx = torus_wrap(x + kDx[k], n);
+      const int ny = torus_wrap(y + kDy[k], n);
+      const std::size_t ni = static_cast<std::size_t>(ny) * n + nx;
+      if (dist[ni] < 0) {
+        dist[ni] = d + 1;
+        queue.push_back(static_cast<std::uint32_t>(ni));
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::int32_t> mono_ball_radius(const std::vector<std::int8_t>& spins,
+                                           int n) {
+  const std::size_t total = static_cast<std::size_t>(n) * n;
+  assert(spins.size() == total);
+
+  // A site c's nearest "obstacle" is the nearest site of the opposite spin.
+  // Run one BFS per spin value, with the opposite-type sites as sources.
+  std::vector<std::uint8_t> plus_sources(total), minus_sources(total);
+  bool any_plus = false, any_minus = false;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (spins[i] > 0) {
+      plus_sources[i] = 1;
+      any_plus = true;
+    } else {
+      minus_sources[i] = 1;
+      any_minus = true;
+    }
+  }
+
+  const std::int32_t max_radius = (n - 1) / 2;
+  std::vector<std::int32_t> radius(total, max_radius);
+  if (!any_plus || !any_minus) return radius;  // fully monochromatic grid
+
+  // Distance from each site to the nearest minus site / plus site.
+  const auto dist_to_minus = chessboard_distance_torus(minus_sources, n);
+  const auto dist_to_plus = chessboard_distance_torus(plus_sources, n);
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::int32_t d =
+        spins[i] > 0 ? dist_to_minus[i] : dist_to_plus[i];
+    radius[i] = std::min(max_radius, d - 1);
+  }
+  return radius;
+}
+
+}  // namespace seg

@@ -1,0 +1,77 @@
+// A dense n x n grid with toroidal indexing. Every site holds a value of
+// type T; the Schelling model uses T = int8_t spins, the percolation
+// substrate uses T = uint8_t open/closed flags.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "grid/point.h"
+
+namespace seg {
+
+template <typename T>
+class TorusGrid {
+ public:
+  TorusGrid() = default;
+  explicit TorusGrid(int n, T fill = T{})
+      : n_(n), cells_(static_cast<std::size_t>(n) * n, fill) {
+    assert(n > 0);
+  }
+
+  int side() const { return n_; }
+  std::size_t size() const { return cells_.size(); }
+
+  // Raw (already in-range) access, the hot path.
+  T& at_index(std::size_t i) { return cells_[i]; }
+  const T& at_index(std::size_t i) const { return cells_[i]; }
+
+  std::size_t index_of(int x, int y) const {
+    assert(x >= 0 && x < n_ && y >= 0 && y < n_);
+    return static_cast<std::size_t>(y) * n_ + x;
+  }
+
+  // Wrapping access: any integer coordinates are accepted.
+  T& at(int x, int y) { return cells_[wrapped_index(x, y)]; }
+  const T& at(int x, int y) const { return cells_[wrapped_index(x, y)]; }
+  T& at(Point p) { return at(p.x, p.y); }
+  const T& at(Point p) const { return at(p.x, p.y); }
+
+  std::size_t wrapped_index(int x, int y) const {
+    return static_cast<std::size_t>(torus_wrap(y, n_)) * n_ +
+           torus_wrap(x, n_);
+  }
+
+  Point point_of(std::size_t i) const {
+    return Point{static_cast<int>(i % n_), static_cast<int>(i / n_)};
+  }
+
+  void fill(T v) { cells_.assign(cells_.size(), v); }
+
+  const std::vector<T>& data() const { return cells_; }
+  std::vector<T>& data() { return cells_; }
+
+  friend bool operator==(const TorusGrid&, const TorusGrid&) = default;
+
+ private:
+  int n_ = 0;
+  std::vector<T> cells_;
+};
+
+// Calls fn(x, y) for every site of the l-infinity ball of radius r centered
+// at (cx, cy), with coordinates wrapped into [0, n). Visits (2r+1)^2 sites;
+// requires 2r+1 <= n so no site is visited twice.
+template <typename Fn>
+void for_each_in_ball(int cx, int cy, int r, int n, Fn&& fn) {
+  assert(2 * r + 1 <= n);
+  for (int dy = -r; dy <= r; ++dy) {
+    const int y = torus_wrap(cy + dy, n);
+    for (int dx = -r; dx <= r; ++dx) {
+      const int x = torus_wrap(cx + dx, n);
+      fn(x, y);
+    }
+  }
+}
+
+}  // namespace seg

@@ -1,0 +1,54 @@
+// Disjoint-set union with union-by-size and path halving. Used for
+// percolation cluster labeling and same-type cluster statistics.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace seg {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n)
+      : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t v) {
+    assert(v < parent_.size());
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];  // path halving
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  // Returns true if the two elements were in different components.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+  std::size_t component_size(std::size_t v) { return size_[find(v)]; }
+
+  std::size_t components() const { return components_; }
+  std::size_t element_count() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace seg

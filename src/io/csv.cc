@@ -1,0 +1,78 @@
+#include "io/csv.h"
+
+#include <cstdio>
+
+namespace seg {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : columns_(header.size()) {
+  std::string line;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) line += ',';
+    line += escape(header[i]);
+  }
+  header_line_ = std::move(line);
+}
+
+CsvWriter& CsvWriter::new_row() {
+  if (rows_ > 0 || fields_in_row_ > 0) {
+    while (fields_in_row_ < columns_) {
+      if (fields_in_row_ > 0) body_ << ',';
+      ++fields_in_row_;
+    }
+    body_ << '\n';
+  }
+  fields_in_row_ = 0;
+  ++rows_;
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(const std::string& value) {
+  if (fields_in_row_ > 0) body_ << ',';
+  body_ << escape(value);
+  ++fields_in_row_;
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return add(std::string(buf));
+}
+
+CsvWriter& CsvWriter::add(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+std::string CsvWriter::str() const {
+  std::string out = header_line_;
+  out += '\n';
+  out += body_.str();
+  if (fields_in_row_ > 0) out += '\n';
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string doc = str();
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = (written == doc.size()) && (std::fclose(f) == 0);
+  if (written != doc.size()) std::fclose(f);
+  return ok;
+}
+
+std::string CsvWriter::escape(const std::string& value) {
+  const bool needs_quotes =
+      value.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace seg

@@ -1,0 +1,41 @@
+// Minimal CSV writer for experiment output. Fields containing commas,
+// quotes or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace seg {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  // Begins a new row; values are appended with add().
+  CsvWriter& new_row();
+  CsvWriter& add(const std::string& value);
+  CsvWriter& add(double value);
+  CsvWriter& add(std::int64_t value);
+
+  std::size_t row_count() const { return rows_; }
+  std::size_t column_count() const { return columns_; }
+
+  // Full document including header. Incomplete trailing rows are padded
+  // with empty fields.
+  std::string str() const;
+
+  bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& value);
+
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+  std::size_t fields_in_row_ = 0;
+  std::ostringstream body_;
+  std::string header_line_;
+};
+
+}  // namespace seg

@@ -1,0 +1,57 @@
+#include "io/ppm.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+namespace seg {
+
+PpmImage::PpmImage(int width, int height, Rgb fill)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width) * height, fill) {
+  assert(width > 0 && height > 0);
+}
+
+void PpmImage::set(int x, int y, Rgb color) {
+  assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+  pixels_[static_cast<std::size_t>(y) * width_ + x] = color;
+}
+
+Rgb PpmImage::get(int x, int y) const {
+  assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+std::vector<std::uint8_t> PpmImage::serialize() const {
+  char header[64];
+  const int header_len =
+      std::snprintf(header, sizeof(header), "P6\n%d %d\n255\n", width_, height_);
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(header_len) + pixels_.size() * 3);
+  out.insert(out.end(), header, header + header_len);
+  for (const Rgb& p : pixels_) {
+    out.push_back(p.r);
+    out.push_back(p.g);
+    out.push_back(p.b);
+  }
+  return out;
+}
+
+bool PpmImage::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const auto bytes = serialize();
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool ok = (written == bytes.size()) && (std::fclose(f) == 0);
+  if (written != bytes.size()) std::fclose(f);
+  return ok;
+}
+
+Rgb fig1_color(std::int8_t spin, bool happy) {
+  if (spin > 0) {
+    return happy ? fig1_palette::kHappyPlus : fig1_palette::kUnhappyPlus;
+  }
+  return happy ? fig1_palette::kHappyMinus : fig1_palette::kUnhappyMinus;
+}
+
+}  // namespace seg

@@ -1,0 +1,53 @@
+// Binary PPM (P6) image writing, plus the paper's Figure-1 color scheme:
+// green/blue for happy (+1)/(-1) agents, white/yellow for unhappy
+// (+1)/(-1) agents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seg {
+
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+// Figure 1 palette.
+namespace fig1_palette {
+inline constexpr Rgb kHappyPlus{46, 160, 67};     // green
+inline constexpr Rgb kHappyMinus{33, 96, 196};    // blue
+inline constexpr Rgb kUnhappyPlus{255, 255, 255}; // white
+inline constexpr Rgb kUnhappyMinus{255, 214, 0};  // yellow
+}  // namespace fig1_palette
+
+class PpmImage {
+ public:
+  PpmImage(int width, int height, Rgb fill = Rgb{});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void set(int x, int y, Rgb color);
+  Rgb get(int x, int y) const;
+
+  // Serializes to binary P6. Returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  // In-memory serialization (used by tests).
+  std::vector<std::uint8_t> serialize() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Rgb> pixels_;
+};
+
+// Renders a spin/happiness pair into the Figure-1 palette.
+Rgb fig1_color(std::int8_t spin, bool happy);
+
+}  // namespace seg

@@ -1,0 +1,67 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace seg {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TablePrinter& TablePrinter::new_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TablePrinter& TablePrinter::add(const std::string& value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TablePrinter& TablePrinter::add(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return add(std::string(buf));
+}
+
+TablePrinter& TablePrinter::add(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      line += cell;
+      if (c + 1 < widths.size()) {
+        line.append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace seg

@@ -1,0 +1,31 @@
+// Aligned plain-text table printer for the bench harnesses, so each
+// reproduced figure prints as a readable table of rows/series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seg {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  TablePrinter& new_row();
+  TablePrinter& add(const std::string& value);
+  TablePrinter& add(double value, int precision = 4);
+  TablePrinter& add(std::int64_t value);
+
+  // Renders with a header rule and right-padded columns.
+  std::string str() const;
+
+  // Convenience: render to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace seg

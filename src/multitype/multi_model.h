@@ -1,0 +1,114 @@
+// Multi-type (Potts-like) Schelling model — the q-type generalization the
+// paper's related work surveys (Schulze [20], "Potts-like model for ghetto
+// formation in multi-cultural societies"). Agents carry one of q >= 2
+// types; the happiness rule is unchanged (same-type fraction >= tau over
+// the l-infinity ball of radius w, self included). Under Glauber-style
+// open dynamics an unhappy agent flips to a type that would make it happy,
+// chosen uniformly among the feasible types (the two-type case with
+// feasible = {other type} recovers the paper's model).
+//
+// Like the comfort variant, q > 2 admits no simple Lyapunov certificate,
+// so runs always take a flip budget. (For q = 2 the budgeted run reaches
+// the same absorbing states as the baseline engine.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+#include "grid/point.h"
+#include "rng/rng.h"
+#include "theory/bounds.h"
+
+namespace seg {
+
+struct MultiParams {
+  int n = 64;
+  int w = 2;
+  int q = 3;          // number of types
+  double tau = 0.4;   // shared intolerance
+  // Initial distribution: uniform over the q types.
+
+  int neighborhood_size() const { return (2 * w + 1) * (2 * w + 1); }
+  int happy_threshold() const {
+    return happiness_threshold(tau, neighborhood_size());
+  }
+  bool valid() const {
+    return n > 0 && w >= 1 && 2 * w + 1 <= n && q >= 2 && q <= 16 &&
+           tau >= 0.0 && tau <= 1.0;
+  }
+};
+
+class MultiTypeModel {
+ public:
+  MultiTypeModel(const MultiParams& params, Rng& rng);
+  MultiTypeModel(const MultiParams& params, std::vector<std::uint8_t> types);
+
+  const MultiParams& params() const { return params_; }
+  int side() const { return params_.n; }
+  int type_count() const { return params_.q; }
+  std::size_t agent_count() const { return types_.size(); }
+
+  std::uint8_t type_of(std::uint32_t id) const { return types_[id]; }
+  std::uint8_t type_at(int x, int y) const;
+  const std::vector<std::uint8_t>& types() const { return types_; }
+  std::uint32_t id_of(int x, int y) const;
+
+  // Count of type-t agents in the neighborhood of id (self included).
+  std::int32_t type_count_at(std::uint32_t id, std::uint8_t t) const;
+  std::int32_t same_count(std::uint32_t id) const {
+    return type_count_at(id, types_[id]);
+  }
+
+  bool is_happy(std::uint32_t id) const {
+    return same_count(id) >= K_;
+  }
+  // Types the agent could switch to and be happy (excludes its own type;
+  // the count uses the post-switch tally, i.e. +1 for itself).
+  std::vector<std::uint8_t> feasible_types(std::uint32_t id) const;
+  bool is_flippable(std::uint32_t id) const {
+    return !is_happy(id) && !feasible_types(id).empty();
+  }
+
+  const AgentSet& flippable_set() const { return flippable_; }
+  bool quiescent() const { return flippable_.empty(); }
+  double happy_fraction() const;
+  // Fraction of agents per type.
+  std::vector<double> type_fractions() const;
+
+  // Switches id to new_type and restores all invariants. O(N) work.
+  void set_type(std::uint32_t id, std::uint8_t new_type);
+
+  bool check_invariants() const;
+
+ private:
+  void refresh_membership(std::uint32_t id);
+  std::size_t count_index(std::uint32_t id, std::uint8_t t) const {
+    return static_cast<std::size_t>(id) * params_.q + t;
+  }
+
+  MultiParams params_;
+  int N_;
+  int K_;
+  std::vector<std::uint8_t> types_;
+  // counts_[id * q + t] = # of type-t agents in N(id), self included.
+  std::vector<std::int32_t> counts_;
+  AgentSet flippable_;
+};
+
+struct MultiRunResult {
+  std::uint64_t flips = 0;
+  double final_time = 0.0;
+  bool quiescent = false;
+};
+
+// Glauber-style dynamics: uniformly random flippable agent switches to a
+// uniformly random feasible type.
+MultiRunResult run_multi(MultiTypeModel& model, Rng& rng,
+                         std::uint64_t max_flips);
+
+// Largest single-type connected cluster (4-neighbor), for segregation
+// measurement across q types.
+std::int64_t largest_type_cluster(const MultiTypeModel& model);
+
+}  // namespace seg

@@ -1,0 +1,56 @@
+#include "percolation/chemical.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace seg {
+
+std::vector<std::int32_t> chemical_distances(const SiteField& field, int sx,
+                                             int sy) {
+  const int L = field.side();
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(L) * L, -1);
+  if (!field.open(sx, sy)) return dist;
+  std::vector<std::uint32_t> queue;
+  queue.push_back(static_cast<std::uint32_t>(field.index(sx, sy)));
+  dist[field.index(sx, sy)] = 0;
+  static constexpr int kDx[4] = {1, -1, 0, 0};
+  static constexpr int kDy[4] = {0, 0, 1, -1};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t cur = queue[head];
+    const int cx = static_cast<int>(cur % L);
+    const int cy = static_cast<int>(cur / L);
+    const std::int32_t d = dist[cur];
+    for (int k = 0; k < 4; ++k) {
+      const int nx = cx + kDx[k];
+      const int ny = cy + kDy[k];
+      if (!field.open(nx, ny)) continue;
+      const std::size_t ni = field.index(nx, ny);
+      if (dist[ni] >= 0) continue;
+      dist[ni] = d + 1;
+      queue.push_back(static_cast<std::uint32_t>(ni));
+    }
+  }
+  return dist;
+}
+
+std::int32_t chemical_distance(const SiteField& field, int sx, int sy,
+                               int tx, int ty) {
+  assert(field.in_bounds(tx, ty));
+  const auto dist = chemical_distances(field, sx, sy);
+  return dist[field.index(tx, ty)];
+}
+
+StretchSample chemical_stretch(const SiteField& field, int sx, int sy,
+                               int tx, int ty) {
+  StretchSample sample;
+  sample.l1 = std::abs(tx - sx) + std::abs(ty - sy);
+  sample.distance = chemical_distance(field, sx, sy, tx, ty);
+  sample.connected = sample.distance >= 0;
+  if (sample.connected && sample.l1 > 0) {
+    sample.stretch =
+        static_cast<double>(sample.distance) / static_cast<double>(sample.l1);
+  }
+  return sample;
+}
+
+}  // namespace seg

@@ -1,0 +1,36 @@
+// Chemical distance D(x, y) inside the open cluster: the length (site
+// count) of the shortest open path. Garet & Marchand (paper Thm. 4) show
+// that in the supercritical regime D(0, x) exceeds (1 + alpha) ||x||_1
+// only with exponentially small probability — the fact behind the paper's
+// chemical firewall (Lemma 13). This module measures D and the stretch
+// D / ||x||_1 empirically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "percolation/field.h"
+
+namespace seg {
+
+// BFS distances (edge counts) from (sx, sy) within the open cluster;
+// -1 for unreachable or closed sites. O(L^2).
+std::vector<std::int32_t> chemical_distances(const SiteField& field, int sx,
+                                             int sy);
+
+// Chemical distance between two sites, or -1 if not connected.
+std::int32_t chemical_distance(const SiteField& field, int sx, int sy,
+                               int tx, int ty);
+
+struct StretchSample {
+  bool connected = false;
+  std::int32_t distance = -1;
+  int l1 = 0;
+  double stretch = 0.0;  // distance / l1 (only when connected and l1 > 0)
+};
+
+// Measures the stretch between two given sites.
+StretchSample chemical_stretch(const SiteField& field, int sx, int sy,
+                               int tx, int ty);
+
+}  // namespace seg

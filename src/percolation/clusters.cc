@@ -1,0 +1,98 @@
+#include "percolation/clusters.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace seg {
+
+namespace {
+constexpr int kDx[4] = {1, -1, 0, 0};
+constexpr int kDy[4] = {0, 0, 1, -1};
+}  // namespace
+
+PercClusters percolation_clusters(const SiteField& field) {
+  const int L = field.side();
+  PercClusters out;
+  out.label.assign(static_cast<std::size_t>(L) * L, -1);
+  std::vector<std::uint32_t> queue;
+  for (int y = 0; y < L; ++y) {
+    for (int x = 0; x < L; ++x) {
+      if (!field.open(x, y) || out.label[field.index(x, y)] >= 0) continue;
+      const auto label = static_cast<std::int32_t>(out.size.size());
+      out.size.push_back(0);
+      queue.clear();
+      queue.push_back(static_cast<std::uint32_t>(field.index(x, y)));
+      out.label[field.index(x, y)] = label;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const std::uint32_t cur = queue[head];
+        ++out.size[label];
+        const int cx = static_cast<int>(cur % L);
+        const int cy = static_cast<int>(cur / L);
+        for (int k = 0; k < 4; ++k) {
+          const int nx = cx + kDx[k];
+          const int ny = cy + kDy[k];
+          if (!field.open(nx, ny)) continue;
+          const std::size_t ni = field.index(nx, ny);
+          if (out.label[ni] >= 0) continue;
+          out.label[ni] = label;
+          queue.push_back(static_cast<std::uint32_t>(ni));
+        }
+      }
+    }
+  }
+  for (const std::int64_t s : out.size) out.largest = std::max(out.largest, s);
+  return out;
+}
+
+int cluster_l1_radius(const SiteField& field, int x, int y) {
+  if (!field.open(x, y)) return -1;
+  const int L = field.side();
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(L) * L, 0);
+  std::vector<std::uint32_t> queue;
+  queue.push_back(static_cast<std::uint32_t>(field.index(x, y)));
+  visited[field.index(x, y)] = 1;
+  int radius = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t cur = queue[head];
+    const int cx = static_cast<int>(cur % L);
+    const int cy = static_cast<int>(cur / L);
+    radius = std::max(radius, std::abs(cx - x) + std::abs(cy - y));
+    for (int k = 0; k < 4; ++k) {
+      const int nx = cx + kDx[k];
+      const int ny = cy + kDy[k];
+      if (!field.open(nx, ny)) continue;
+      const std::size_t ni = field.index(nx, ny);
+      if (visited[ni]) continue;
+      visited[ni] = 1;
+      queue.push_back(static_cast<std::uint32_t>(ni));
+    }
+  }
+  return radius;
+}
+
+bool spans_horizontally(const SiteField& field) {
+  const PercClusters clusters = percolation_clusters(field);
+  const int L = field.side();
+  std::vector<std::uint8_t> touches_left(clusters.size.size(), 0);
+  for (int y = 0; y < L; ++y) {
+    const std::int32_t l = clusters.label[field.index(0, y)];
+    if (l >= 0) touches_left[l] = 1;
+  }
+  for (int y = 0; y < L; ++y) {
+    const std::int32_t l = clusters.label[field.index(L - 1, y)];
+    if (l >= 0 && touches_left[l]) return true;
+  }
+  return false;
+}
+
+double largest_cluster_fraction(const SiteField& field) {
+  const PercClusters clusters = percolation_clusters(field);
+  std::int64_t open_total = 0;
+  for (const std::int64_t s : clusters.size) open_total += s;
+  if (open_total == 0) return 0.0;
+  return static_cast<double>(clusters.largest) /
+         static_cast<double>(open_total);
+}
+
+}  // namespace seg

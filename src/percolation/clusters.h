@@ -1,0 +1,35 @@
+// Open-cluster decomposition of a site field: labels, sizes, the radius of
+// the cluster containing a given site (Grimmett Thm. 5.4 measures this
+// radius' tail below criticality), and spanning detection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "percolation/field.h"
+
+namespace seg {
+
+struct PercClusters {
+  std::vector<std::int32_t> label;  // -1 for closed sites
+  std::vector<std::int64_t> size;   // per label
+  std::int64_t largest = 0;
+};
+
+// 4-connected open clusters.
+PercClusters percolation_clusters(const SiteField& field);
+
+// l1 radius of the open cluster containing (x, y):
+// sup{ |a-x| + |b-y| : (a,b) in cluster }. Returns -1 if the site is
+// closed. BFS over the cluster.
+int cluster_l1_radius(const SiteField& field, int x, int y);
+
+// True if some open cluster touches both the left and right columns
+// (horizontal spanning) — a standard supercritical indicator.
+bool spans_horizontally(const SiteField& field);
+
+// Fraction of open sites belonging to the largest cluster (finite-size
+// stand-in for the percolation probability theta(p)).
+double largest_cluster_fraction(const SiteField& field);
+
+}  // namespace seg

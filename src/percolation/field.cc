@@ -1,0 +1,25 @@
+#include "percolation/field.h"
+
+#include <cassert>
+
+namespace seg {
+
+SiteField::SiteField(int L, double p, Rng& rng)
+    : L_(L), p_(p), open_(static_cast<std::size_t>(L) * L) {
+  assert(L > 0 && p >= 0.0 && p <= 1.0);
+  for (auto& cell : open_) cell = rng.bernoulli(p) ? 1 : 0;
+}
+
+SiteField::SiteField(int L, std::vector<std::uint8_t> open)
+    : L_(L), open_(std::move(open)) {
+  assert(L > 0);
+  assert(open_.size() == static_cast<std::size_t>(L) * L);
+}
+
+double SiteField::open_fraction() const {
+  std::size_t count = 0;
+  for (const auto cell : open_) count += cell != 0;
+  return static_cast<double>(count) / static_cast<double>(open_.size());
+}
+
+}  // namespace seg

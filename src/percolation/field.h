@@ -1,0 +1,48 @@
+// Bernoulli site percolation fields on a finite L x L box of Z^2 (open
+// boundary, no wrap) — the substrate behind the paper's Lemmas 13-14 and
+// the cited theorems of Garet-Marchand (chemical distance) and Grimmett
+// (subcritical cluster-radius decay).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace seg {
+
+// Critical probability for site percolation on Z^2 (numerical value, used
+// by experiments to pick sub/supercritical p).
+inline constexpr double kSiteCriticalP = 0.592746;
+
+class SiteField {
+ public:
+  // Draws an L x L field with P(open) = p.
+  SiteField(int L, double p, Rng& rng);
+  // Explicit field (row-major open flags).
+  SiteField(int L, std::vector<std::uint8_t> open);
+
+  int side() const { return L_; }
+  double p() const { return p_; }
+
+  bool open(int x, int y) const {
+    return in_bounds(x, y) &&
+           open_[static_cast<std::size_t>(y) * L_ + x] != 0;
+  }
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && x < L_ && y >= 0 && y < L_;
+  }
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * L_ + x;
+  }
+  const std::vector<std::uint8_t>& data() const { return open_; }
+
+  double open_fraction() const;
+
+ private:
+  int L_;
+  double p_ = 0.0;
+  std::vector<std::uint8_t> open_;
+};
+
+}  // namespace seg

@@ -1,0 +1,60 @@
+#include "percolation/fpp.h"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace seg {
+
+FppField::FppField(int L, double rate, Rng& rng)
+    : L_(L), weights_(static_cast<std::size_t>(L) * L) {
+  assert(L > 0 && rate > 0.0);
+  for (auto& w : weights_) w = rng.exponential(rate);
+}
+
+FppField::FppField(int L, std::vector<double> weights)
+    : L_(L), weights_(std::move(weights)) {
+  assert(L > 0);
+  assert(weights_.size() == static_cast<std::size_t>(L) * L);
+}
+
+std::vector<double> FppField::passage_times(int sx, int sy) const {
+  assert(sx >= 0 && sx < L_ && sy >= 0 && sy < L_);
+  const std::size_t total = weights_.size();
+  std::vector<double> dist(total, std::numeric_limits<double>::infinity());
+  using Entry = std::pair<double, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  const std::size_t src = static_cast<std::size_t>(sy) * L_ + sx;
+  dist[src] = 0.0;  // source weight excluded by convention
+  heap.emplace(0.0, static_cast<std::uint32_t>(src));
+  static constexpr int kDx[4] = {1, -1, 0, 0};
+  static constexpr int kDy[4] = {0, 0, 1, -1};
+  while (!heap.empty()) {
+    const auto [d, cur] = heap.top();
+    heap.pop();
+    if (d > dist[cur]) continue;
+    const int cx = static_cast<int>(cur % L_);
+    const int cy = static_cast<int>(cur / L_);
+    for (int k = 0; k < 4; ++k) {
+      const int nx = cx + kDx[k];
+      const int ny = cy + kDy[k];
+      if (nx < 0 || nx >= L_ || ny < 0 || ny >= L_) continue;
+      const std::size_t ni = static_cast<std::size_t>(ny) * L_ + nx;
+      const double nd = d + weights_[ni];
+      if (nd < dist[ni]) {
+        dist[ni] = nd;
+        heap.emplace(nd, static_cast<std::uint32_t>(ni));
+      }
+    }
+  }
+  return dist;
+}
+
+double FppField::axis_passage_time(int sx, int sy, int k) const {
+  assert(sx + k >= 0 && sx + k < L_);
+  const auto dist = passage_times(sx, sy);
+  return dist[static_cast<std::size_t>(sy) * L_ + (sx + k)];
+}
+
+}  // namespace seg

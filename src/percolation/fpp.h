@@ -1,0 +1,41 @@
+// First-passage percolation with i.i.d. site weights — the substrate for
+// Kesten's concentration theorem (paper Thm. 3) and the spread-speed bound
+// of Lemma 7. The passage time T*(path) is the sum of the weights of the
+// path's sites (source excluded, so T to the source itself is 0 and
+// passage times are additive along shortest paths); the passage time
+// between sites is the infimum over connecting 4-neighbor paths, computed
+// exactly with Dijkstra.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace seg {
+
+class FppField {
+ public:
+  // L x L field of Exp(rate) i.i.d. site weights (mean 1/rate).
+  FppField(int L, double rate, Rng& rng);
+  // Explicit weights (row-major), for tests.
+  FppField(int L, std::vector<double> weights);
+
+  int side() const { return L_; }
+  double weight(int x, int y) const {
+    return weights_[static_cast<std::size_t>(y) * L_ + x];
+  }
+
+  // Dijkstra from (sx, sy): passage time to every site (infinity for
+  // unreachable sites — impossible on the full box).
+  std::vector<double> passage_times(int sx, int sy) const;
+
+  // T_k of the paper: passage time from (sx, sy) to (sx + k, sy).
+  double axis_passage_time(int sx, int sy, int k) const;
+
+ private:
+  int L_;
+  std::vector<double> weights_;
+};
+
+}  // namespace seg

@@ -1,0 +1,181 @@
+#include "renorm/block_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "grid/point.h"
+
+namespace seg {
+
+namespace {
+
+struct BlockView {
+  const BlockGrid* grid;
+  int B;  // blocks per side
+
+  bool good(int bx, int by) const {
+    return grid->good(torus_wrap(bx, B), torus_wrap(by, B));
+  }
+  std::size_t index(int bx, int by) const {
+    return static_cast<std::size_t>(torus_wrap(by, B)) * B +
+           torus_wrap(bx, B);
+  }
+};
+
+}  // namespace
+
+ChemicalPathResult find_chemical_path(const BlockGrid& blocks, int cx,
+                                      int cy, int r_inner, int r_outer) {
+  const int B = blocks.blocks_per_side();
+  assert(r_inner > 0 && r_inner < r_outer && 2 * r_outer + 1 <= B);
+  const BlockView view{&blocks, B};
+  ChemicalPathResult result;
+
+  const auto ring_dist = [&](int bx, int by) {
+    return torus_linf(Point{bx, by}, Point{cx, cy}, B);
+  };
+
+  // --- Cycle test by duality: do bad blocks cross the annulus? ---------
+  // Seed the BFS with every bad block on the innermost ring of the
+  // annulus; traverse 8-connected bad blocks inside the annulus; a
+  // crossing exists iff the BFS reaches the outermost ring.
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(B) * B, 0);
+  std::vector<std::uint32_t> queue;
+  bool crossing = false;
+  for (int by = 0; by < B && !crossing; ++by) {
+    for (int bx = 0; bx < B; ++bx) {
+      if (ring_dist(bx, by) == r_inner + 1 && !view.good(bx, by)) {
+        const std::size_t i = view.index(bx, by);
+        if (!visited[i]) {
+          visited[i] = 1;
+          queue.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+    }
+  }
+  static constexpr int kDx8[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+  static constexpr int kDy8[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+  for (std::size_t head = 0; head < queue.size() && !crossing; ++head) {
+    const std::uint32_t cur = queue[head];
+    const int bx = static_cast<int>(cur % B);
+    const int by = static_cast<int>(cur / B);
+    if (ring_dist(bx, by) == r_outer) {
+      crossing = true;
+      break;
+    }
+    for (int k = 0; k < 8; ++k) {
+      const int nx = torus_wrap(bx + kDx8[k], B);
+      const int ny = torus_wrap(by + kDy8[k], B);
+      const int d = ring_dist(nx, ny);
+      if (d <= r_inner || d > r_outer) continue;  // outside annulus
+      if (view.good(nx, ny)) continue;
+      const std::size_t ni = view.index(nx, ny);
+      if (visited[ni]) continue;
+      visited[ni] = 1;
+      queue.push_back(static_cast<std::uint32_t>(ni));
+    }
+  }
+  result.cycle_exists = !crossing;
+
+  // --- Path from the center block to the annulus over good blocks. -----
+  if (view.good(cx, cy)) {
+    std::vector<std::int32_t> dist(static_cast<std::size_t>(B) * B, -1);
+    std::vector<std::uint32_t> bfs;
+    bfs.push_back(static_cast<std::uint32_t>(view.index(cx, cy)));
+    dist[view.index(cx, cy)] = 0;
+    static constexpr int kDx4[4] = {1, -1, 0, 0};
+    static constexpr int kDy4[4] = {0, 0, 1, -1};
+    for (std::size_t head = 0; head < bfs.size(); ++head) {
+      const std::uint32_t cur = bfs[head];
+      const int bx = static_cast<int>(cur % B);
+      const int by = static_cast<int>(cur / B);
+      const int d_ring = ring_dist(bx, by);
+      if (d_ring > r_inner && d_ring <= r_outer) {
+        result.center_connected = true;
+        result.path_length = dist[cur];
+        break;
+      }
+      for (int k = 0; k < 4; ++k) {
+        const int nx = torus_wrap(bx + kDx4[k], B);
+        const int ny = torus_wrap(by + kDy4[k], B);
+        if (!view.good(nx, ny)) continue;
+        if (ring_dist(nx, ny) > r_outer) continue;  // stay inside N_3r
+        const std::size_t ni = view.index(nx, ny);
+        if (dist[ni] >= 0) continue;
+        dist[ni] = dist[cur] + 1;
+        bfs.push_back(static_cast<std::uint32_t>(ni));
+      }
+    }
+  }
+
+  result.found = result.cycle_exists && result.center_connected;
+  return result;
+}
+
+namespace {
+
+std::vector<std::vector<std::uint32_t>> bad_clusters(const BlockGrid& blocks) {
+  const int B = blocks.blocks_per_side();
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(B) * B, 0);
+  std::vector<std::vector<std::uint32_t>> clusters;
+  static constexpr int kDx4[4] = {1, -1, 0, 0};
+  static constexpr int kDy4[4] = {0, 0, 1, -1};
+  for (int by = 0; by < B; ++by) {
+    for (int bx = 0; bx < B; ++bx) {
+      const std::size_t i = static_cast<std::size_t>(by) * B + bx;
+      if (visited[i] || blocks.good(bx, by)) continue;
+      clusters.emplace_back();
+      auto& cluster = clusters.back();
+      cluster.push_back(static_cast<std::uint32_t>(i));
+      visited[i] = 1;
+      for (std::size_t head = 0; head < cluster.size(); ++head) {
+        const std::uint32_t cur = cluster[head];
+        const int x = static_cast<int>(cur % B);
+        const int y = static_cast<int>(cur / B);
+        for (int k = 0; k < 4; ++k) {
+          const int nx = torus_wrap(x + kDx4[k], B);
+          const int ny = torus_wrap(y + kDy4[k], B);
+          const std::size_t ni = static_cast<std::size_t>(ny) * B + nx;
+          if (visited[ni] || blocks.good(nx, ny)) continue;
+          visited[ni] = 1;
+          cluster.push_back(static_cast<std::uint32_t>(ni));
+        }
+      }
+    }
+  }
+  return clusters;
+}
+
+}  // namespace
+
+int max_bad_cluster_radius(const BlockGrid& blocks) {
+  const int B = blocks.blocks_per_side();
+  int max_radius = 0;
+  for (const auto& cluster : bad_clusters(blocks)) {
+    // Radius = half the l1 diameter (rounded up). Subcritical clusters are
+    // small, so the quadratic pass is cheap; very large clusters fall back
+    // to a bounding-span estimate.
+    int diameter = 0;
+    if (cluster.size() <= 2048) {
+      for (std::size_t i = 0; i < cluster.size(); ++i) {
+        const Point a{static_cast<int>(cluster[i] % B),
+                      static_cast<int>(cluster[i] / B)};
+        for (std::size_t j = i + 1; j < cluster.size(); ++j) {
+          const Point b{static_cast<int>(cluster[j] % B),
+                        static_cast<int>(cluster[j] / B)};
+          diameter = std::max(diameter, torus_l1(a, b, B));
+        }
+      }
+    } else {
+      diameter = 2 * B;  // effectively "huge"; callers only threshold it
+    }
+    max_radius = std::max(max_radius, (diameter + 1) / 2);
+  }
+  return max_radius;
+}
+
+std::size_t bad_cluster_count(const BlockGrid& blocks) {
+  return bad_clusters(blocks).size();
+}
+
+}  // namespace seg

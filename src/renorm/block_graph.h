@@ -1,0 +1,45 @@
+// Graph structure on the renormalized block lattice: bad-block clusters
+// (Lemma 14 bounds their radius) and the r-chemical-path search behind the
+// chemical firewall (Lemma 13).
+//
+// A chemical path centered at block c consists of (i) a cycle of good
+// blocks inside the annulus {r_inner < d_linf(b, c) <= r_outer} that
+// encloses c, and (ii) a path of good blocks from c to that cycle. The
+// enclosing-cycle test uses Whitney duality on the annulus: a good
+// 4-connected cycle around the hole exists iff the bad blocks (8-connected)
+// do not cross the annulus from its inner to its outer boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "renorm/blocks.h"
+
+namespace seg {
+
+struct ChemicalPathResult {
+  bool cycle_exists = false;       // enclosing good cycle in the annulus
+  bool center_connected = false;   // good path from center to the annulus
+  bool found = false;              // both of the above
+  // Chemical (BFS) distance in good blocks from the center block to the
+  // nearest good block in the annulus; -1 when not connected.
+  int path_length = -1;
+};
+
+// Searches for a chemical path around block (cx, cy) (block coordinates)
+// using annulus radii (r_inner, r_outer], measured in l-infinity block
+// distance on the block torus. Requires 0 < r_inner < r_outer and
+// 2*r_outer + 1 <= blocks_per_side.
+ChemicalPathResult find_chemical_path(const BlockGrid& blocks, int cx,
+                                      int cy, int r_inner, int r_outer);
+
+// Maximum l1 radius over all 4-connected clusters of bad blocks on the
+// block torus (0 when there are no bad blocks). Lemma 14: w.h.p. no bad
+// cluster has radius exceeding N^2 blocks inside an exponentially large
+// neighborhood.
+int max_bad_cluster_radius(const BlockGrid& blocks);
+
+// Number of 4-connected bad clusters.
+std::size_t bad_cluster_count(const BlockGrid& blocks);
+
+}  // namespace seg

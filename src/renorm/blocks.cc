@@ -1,0 +1,83 @@
+#include "renorm/blocks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "grid/prefix_sum.h"
+
+namespace seg {
+
+BlockGrid::BlockGrid(const std::vector<std::int8_t>& spins, int n,
+                     const BlockParams& params)
+    : params_(params), n_(n) {
+  assert(n > 0 && params.block_side > 0 && params.w_block_side > 0);
+  assert(n % params.block_side == 0);
+  assert(params.eps > 0.0 && params.eps < 0.5);
+  blocks_per_side_ = n / params.block_side;
+  good_.assign(static_cast<std::size_t>(blocks_per_side_) * blocks_per_side_,
+               1);
+
+  // Count of (-1) agents per rectangle via one prefix sum.
+  std::vector<std::int32_t> minus_indicator(spins.size());
+  for (std::size_t i = 0; i < spins.size(); ++i) {
+    minus_indicator[i] = spins[i] < 0 ? 1 : 0;
+  }
+  const PrefixSum2D minus_prefix(minus_indicator, n);
+
+  const int bs = params.block_side;
+  const int ws = std::min(params.w_block_side, bs);
+  const double threshold = deviation_threshold();
+
+  for (int by = 0; by < blocks_per_side_; ++by) {
+    for (int bx = 0; bx < blocks_per_side_; ++bx) {
+      const int x0 = bx * bs;
+      const int y0 = by * bs;
+      bool is_good = true;
+      // Slide a ws x ws window so that it overlaps the block in every
+      // possible way; the intersection rectangle is the clipped window.
+      for (int oy = -(ws - 1); oy < bs && is_good; ++oy) {
+        const int ry0 = std::max(0, oy);
+        const int ry1 = std::min(bs - 1, oy + ws - 1);
+        const int height = ry1 - ry0 + 1;
+        for (int ox = -(ws - 1); ox < bs && is_good; ++ox) {
+          const int rx0 = std::max(0, ox);
+          const int rx1 = std::min(bs - 1, ox + ws - 1);
+          const std::int64_t size =
+              static_cast<std::int64_t>(rx1 - rx0 + 1) * height;
+          const std::int64_t minus = minus_prefix.rect_sum(
+              x0 + rx0, y0 + ry0, x0 + rx1, y0 + ry1);
+          const double dev =
+              static_cast<double>(minus) - static_cast<double>(size) / 2.0;
+          if (dev >= threshold) {
+            is_good = false;
+          } else if (params_.two_sided && -dev >= threshold) {
+            is_good = false;
+          }
+        }
+      }
+      const std::size_t bi =
+          static_cast<std::size_t>(by) * blocks_per_side_ + bx;
+      good_[bi] = is_good ? 1 : 0;
+      good_count_ += is_good;
+    }
+  }
+}
+
+bool BlockGrid::good(int bx, int by) const {
+  assert(bx >= 0 && bx < blocks_per_side_ && by >= 0 &&
+         by < blocks_per_side_);
+  return good_[static_cast<std::size_t>(by) * blocks_per_side_ + bx] != 0;
+}
+
+double BlockGrid::bad_fraction() const {
+  return static_cast<double>(bad_count()) /
+         static_cast<double>(good_.size());
+}
+
+double BlockGrid::deviation_threshold() const {
+  return std::pow(static_cast<double>(params_.dynamics_N),
+                  0.5 + params_.eps);
+}
+
+}  // namespace seg

@@ -1,0 +1,38 @@
+#include "rng/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace seg {
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = gen_.next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = gen_.next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // hi-lo < 2^63 assumed
+  return lo + static_cast<std::int64_t>(uniform_below(span));
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  // uniform() < 1 strictly, so 1-u > 0 and the log is finite.
+  return -std::log1p(-uniform()) / rate;
+}
+
+}  // namespace seg

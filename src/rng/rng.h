@@ -1,0 +1,93 @@
+// Deterministic random number generation for the whole reproduction.
+//
+// Core generator is xoshiro256** 1.0 (Blackman & Vigna, public domain
+// algorithm), seeded via SplitMix64. `Rng` wraps it with the typed draws
+// the simulators need (uniform ints, Bernoulli, exponential waiting times)
+// and with cheap stream derivation so each Monte-Carlo trial gets an
+// independent, reproducible generator.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/splitmix64.h"
+
+namespace seg {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+    // All-zero state is invalid for xoshiro; SplitMix64 cannot emit four
+    // consecutive zeros, but keep a belt-and-braces guard.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface, so <random> distributions work.
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+// High-level typed draws on top of Xoshiro256.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  // Derives an independent generator for stream `index` of this seed.
+  static Rng stream(std::uint64_t seed, std::uint64_t index) {
+    return Rng(mix_seed(seed, index));
+  }
+
+  std::uint64_t next_u64() { return gen_.next(); }
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() {
+    return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t uniform_below(std::uint64_t bound);
+
+  // Uniform integer in the closed range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Exponential with the given rate (mean 1/rate). rate must be > 0.
+  double exponential(double rate);
+
+  // UniformRandomBitGenerator interface.
+  std::uint64_t operator()() { return gen_.next(); }
+  static constexpr std::uint64_t min() { return Xoshiro256::min(); }
+  static constexpr std::uint64_t max() { return Xoshiro256::max(); }
+
+ private:
+  Xoshiro256 gen_;
+};
+
+}  // namespace seg

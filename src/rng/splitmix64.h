@@ -1,0 +1,34 @@
+// SplitMix64 (Vigna): used only to expand user seeds into the state of
+// xoshiro256** and to derive independent per-trial streams. Public domain
+// algorithm; implemented from the reference description.
+#pragma once
+
+#include <cstdint>
+
+namespace seg {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Mixes two 64-bit values into one; used to derive stream seeds as
+// mix(seed, stream_index) so streams are decorrelated even for adjacent
+// indices.
+constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  SplitMix64 sm(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)));
+  sm.next();
+  return sm.next() ^ b;
+}
+
+}  // namespace seg

@@ -1,0 +1,110 @@
+#include "theory/bounds.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "theory/entropy.h"
+#include "theory/exponents.h"
+
+namespace seg {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kLog2E = 1.4426950408889634;  // log2(e)
+}  // namespace
+
+double log2_binomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n) return kNegInf;
+  if (k == 0 || k == n) return 0.0;
+  const double ln = std::lgamma(static_cast<double>(n) + 1.0) -
+                    std::lgamma(static_cast<double>(k) + 1.0) -
+                    std::lgamma(static_cast<double>(n - k) + 1.0);
+  return ln * kLog2E;
+}
+
+double log2_binomial_cdf_half(std::int64_t n, std::int64_t k) {
+  if (k < 0) return kNegInf;
+  if (k >= n) return 0.0;
+  // log2 sum_{j<=k} C(n, j) - n. Accumulate in log space, largest term
+  // last so the log-sum-exp is stable.
+  double log_sum = kNegInf;
+  for (std::int64_t j = 0; j <= k; ++j) {
+    const double term = log2_binomial(n, j);
+    if (log_sum == kNegInf) {
+      log_sum = term;
+    } else {
+      const double hi = std::max(log_sum, term);
+      const double lo = std::min(log_sum, term);
+      log_sum = hi + std::log2(1.0 + std::exp2(lo - hi));
+    }
+  }
+  return log_sum - static_cast<double>(n);
+}
+
+int happiness_threshold(double tau, int N) {
+  assert(N > 0 && tau >= 0.0 && tau <= 1.0);
+  // K = ceil(tau * N), robust to tau*N landing a hair above an integer
+  // due to floating point (e.g. 0.3 * 10 = 3.0000000000000004).
+  const double scaled = tau * static_cast<double>(N);
+  const double nearest = std::nearbyint(scaled);
+  if (std::abs(scaled - nearest) < 1e-9 * static_cast<double>(N)) {
+    return static_cast<int>(nearest);
+  }
+  return static_cast<int>(std::ceil(scaled));
+}
+
+double unhappy_probability_exact(double tau, int N) {
+  const int K = happiness_threshold(tau, N);
+  // Same-type count (self included) = 1 + Binomial(N-1, 1/2); unhappy iff
+  // the count < K, i.e. Binomial(N-1, 1/2) <= K - 2.
+  return std::exp2(log2_binomial_cdf_half(N - 1, K - 2));
+}
+
+double unhappy_probability_asymptotic(double tau, int N) {
+  const double tp = tau_prime(tau, N);
+  if (tp <= 0.0) return 0.0;
+  return std::exp2(-(1.0 - binary_entropy(tp)) * N) / std::sqrt(N);
+}
+
+std::int64_t neighborhood_size(int r) {
+  const std::int64_t side = 2 * static_cast<std::int64_t>(r) + 1;
+  return side * side;
+}
+
+int radical_radius(int w, double eps_prime) {
+  return static_cast<int>(std::floor((1.0 + eps_prime) * w));
+}
+
+double radical_region_probability_exact(double tau, int w, double eps_prime,
+                                        double eps) {
+  assert(w >= 1 && eps_prime > 0.0);
+  const int N = static_cast<int>(neighborhood_size(w));
+  const int rr = radical_radius(w, eps_prime);
+  const std::int64_t ns = neighborhood_size(rr);
+  const double that = tau_hat(tau, N, eps);
+  // Radical region: strictly fewer than that * (1+e')^2 * N minus-type
+  // agents in the radius-(1+e')w neighborhood (paper Sec. III). We use the
+  // actual region size ns as the finite-N stand-in for (1+e')^2 N.
+  const double bound = that * static_cast<double>(ns);
+  const auto limit = static_cast<std::int64_t>(std::ceil(bound)) - 1;
+  return std::exp2(log2_binomial_cdf_half(ns, limit));
+}
+
+double azuma_two_sided_bound(double t, std::int64_t n_prime) {
+  assert(n_prime > 0);
+  return std::min(1.0, 2.0 * std::exp(-t * t /
+                                      (2.0 * static_cast<double>(n_prime))));
+}
+
+double lemma18_bound(double c, double eps, std::int64_t N) {
+  assert(c > 0.0 && eps > 0.0 && eps < 0.5 && N > 0);
+  const double dev = c * std::pow(static_cast<double>(N), 0.5 + eps);
+  // Hoeffding with increments bounded by 1/2:
+  // P(|W - N/2| >= dev) <= 2 exp(-2 dev^2 / N).
+  return std::min(1.0, 2.0 * std::exp(-2.0 * dev * dev /
+                                      static_cast<double>(N)));
+}
+
+}  // namespace seg

@@ -1,0 +1,58 @@
+// Probability bounds from the paper's appendix, implemented both exactly
+// (finite-N binomial computations, usable up to N of a few thousand) and
+// in their asymptotic 2^{-[1-H]N} form:
+//
+//  Lemma 19: probability p_u that an arbitrary agent is unhappy at t = 0.
+//  Lemma 20: probability that a neighborhood of radius (1+e')w is a
+//            radical region at t = 0.
+//  Lemma 1 / Prop. 1: Azuma-type concentration envelopes for
+//            sub-neighborhood counts.
+//  Lemma 18: concentration of W around N/2.
+#pragma once
+
+#include <cstdint>
+
+namespace seg {
+
+// log2 of the binomial coefficient C(n, k) via lgamma; exact enough for
+// all n used here. Returns -infinity for k outside [0, n].
+double log2_binomial(std::int64_t n, std::int64_t k);
+
+// log2 P(Binomial(n, 1/2) <= k), computed by stable log-sum-exp.
+// Returns 0.0 (probability 1) when k >= n, -infinity when k < 0.
+double log2_binomial_cdf_half(std::int64_t n, std::int64_t k);
+
+// Integer happiness threshold: the minimum number of same-type agents
+// (self included) required in a size-N neighborhood, K = ceil(tau * N)
+// computed robustly against floating-point edge cases. This matches the
+// paper's tau = ceil(tau~ N)/N convention: happy iff same-count >= K.
+int happiness_threshold(double tau, int N);
+
+// Exact Lemma 19 probability: an agent is unhappy at t = 0 iff fewer than
+// K - 1 of its N - 1 neighbors share its type. p = 1/2 per site.
+double unhappy_probability_exact(double tau, int N);
+
+// Asymptotic form 2^{-[1-H(tau')]N} / sqrt(N) (up to the lemma's constant).
+double unhappy_probability_asymptotic(double tau, int N);
+
+// Exact Lemma 20 probability that a fixed neighborhood of radius
+// (1+eps_prime)*w is a radical region: Binomial(N_S, 1/2) < tau^ * N_S
+// where N_S is the region size and tau^ the deflated threshold.
+// w is the horizon; eps in (0, 1/2) is the concentration exponent.
+double radical_region_probability_exact(double tau, int w, double eps_prime,
+                                        double eps);
+
+// Size (agent count) of a radius-r l-infinity neighborhood.
+std::int64_t neighborhood_size(int r);
+
+// Radius used for a radical region: floor((1 + eps_prime) * w).
+int radical_radius(int w, double eps_prime);
+
+// Azuma bound of Lemma 1: P(|W' - gamma K| >= t) <= 2 exp(-t^2 / (2 N')).
+double azuma_two_sided_bound(double t, std::int64_t n_prime);
+
+// Lemma 18 envelope: P(|W - N/2| >= c N^{1/2+eps}) <= 2 exp(-2 c^2 N^{2eps})
+// (Hoeffding form with 1/2-bounded increments).
+double lemma18_bound(double c, double eps, std::int64_t N);
+
+}  // namespace seg

@@ -1,0 +1,51 @@
+#include "theory/constants.h"
+
+#include <cassert>
+#include <cmath>
+#include <mutex>
+
+#include "theory/entropy.h"
+#include "theory/roots.h"
+
+namespace seg {
+
+double tau1_equation(double tau) {
+  return 0.75 * (1.0 - binary_entropy(4.0 * tau / 3.0)) -
+         (1.0 - binary_entropy(tau));
+}
+
+double tau2_equation(double tau) {
+  return 1024.0 * tau * tau - 384.0 * tau + 11.0;
+}
+
+double tau1() {
+  static double value = [] {
+    // The root lies strictly inside (0.3, 0.499): the equation is negative
+    // at 0.3 and positive near 1/2 (checked in tests).
+    const RootResult r = bisect(tau1_equation, 0.3, 0.499);
+    assert(r.converged);
+    return r.x;
+  }();
+  return value;
+}
+
+double tau2() {
+  // 1024 tau^2 - 384 tau + 11 = 0  =>  tau = (384 +- 320)/2048.
+  // The segregation-relevant root is the larger one, 704/2048 = 11/32.
+  return 11.0 / 32.0;
+}
+
+double mono_interval_width() { return 2.0 * (0.5 - tau1()); }
+
+double full_interval_width() { return 2.0 * (0.5 - tau2()); }
+
+double f_tau(double tau) {
+  if (tau > 0.5) tau = 1.0 - tau;  // symmetry (paper Sec. IV-C)
+  assert(tau > tau2() && tau < 0.5);
+  const double d = tau - 0.5;
+  const double disc = 9.0 * d * d - 7.0 * d * (3.0 * tau + 0.5);
+  assert(disc >= 0.0);
+  return (3.0 * d + std::sqrt(disc)) / (2.0 * (3.0 * tau + 0.5));
+}
+
+}  // namespace seg

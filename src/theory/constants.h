@@ -1,0 +1,37 @@
+// The paper's critical intolerance constants and the triggering threshold
+// f(tau).
+//
+//  tau_1 ~= 0.433 : root of (3/4)[1 - H(4 tau/3)] - [1 - H(tau)] = 0 (eq. 1)
+//  tau_2  = 0.34375: root of 1024 tau^2 - 384 tau + 11 = 0          (eq. 3)
+//  f(tau)          : infimum of epsilon' that makes a radical region
+//                    expandable (eq. 10, plotted in Fig. 6)
+#pragma once
+
+namespace seg {
+
+// Numerically solved tau_1 (cached after the first call; thread-safe).
+double tau1();
+
+// Closed-form tau_2 = (384 - 320) / 2048 ... the relevant root 11/32.
+double tau2();
+
+// Width of the monochromatic interval (tau_1, 1/2) u (1/2, 1 - tau_1),
+// i.e. 2 * (1/2 - tau_1) ~= 0.134 (Fig. 2, grey region).
+double mono_interval_width();
+
+// Width of the full interval (tau_2, 1 - tau_2) \ {1/2} ~= 0.312
+// (Fig. 2, grey + black region).
+double full_interval_width();
+
+// Eq. (10). Requires tau in (tau_2, 1/2): below tau_2 the discriminant
+// goes negative (no triggering configuration exists). For tau in
+// (1/2, 1 - tau_2) the symmetric value f(1 - tau) is returned.
+double f_tau(double tau);
+
+// The left-hand side of eq. (1); exposed for tests.
+double tau1_equation(double tau);
+
+// The quadratic of eq. (3); exposed for tests.
+double tau2_equation(double tau);
+
+}  // namespace seg

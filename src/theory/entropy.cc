@@ -1,0 +1,19 @@
+#include "theory/entropy.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace seg {
+
+double binary_entropy(double x) {
+  assert(x >= 0.0 && x <= 1.0);
+  if (x <= 0.0 || x >= 1.0) return 0.0;
+  return -x * std::log2(x) - (1.0 - x) * std::log2(1.0 - x);
+}
+
+double binary_entropy_derivative(double x) {
+  assert(x > 0.0 && x < 1.0);
+  return std::log2((1.0 - x) / x);
+}
+
+}  // namespace seg

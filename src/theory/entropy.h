@@ -1,0 +1,14 @@
+// The binary entropy function H (paper eq. (2)) and related helpers.
+#pragma once
+
+namespace seg {
+
+// H(x) = -x log2(x) - (1-x) log2(1-x), with H(0) = H(1) = 0.
+// Requires x in [0, 1].
+double binary_entropy(double x);
+
+// Derivative H'(x) = log2((1-x)/x), for x in (0, 1). Used by tests to
+// verify the entropy implementation against finite differences.
+double binary_entropy_derivative(double x);
+
+}  // namespace seg

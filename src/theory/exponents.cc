@@ -1,0 +1,41 @@
+#include "theory/exponents.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "theory/constants.h"
+#include "theory/entropy.h"
+
+namespace seg {
+
+double tau_prime(double tau, int N) {
+  assert(N >= 2);
+  return (tau * N - 2.0) / (N - 1.0);
+}
+
+double tau_hat(double tau, int N, double eps) {
+  assert(N >= 1 && eps > 0.0 && eps < 0.5);
+  return tau * (1.0 - 1.0 / (tau * std::pow(N, 0.5 - eps)));
+}
+
+double a_exponent(double tau, double eps_prime) {
+  if (tau > 0.5) tau = 1.0 - tau;
+  const double shrink = 1.0 - (2.0 * eps_prime + eps_prime * eps_prime);
+  return shrink * (1.0 - binary_entropy(tau));
+}
+
+double b_exponent(double tau, double eps_prime) {
+  if (tau > 0.5) tau = 1.0 - tau;
+  const double grow = 1.5 * (1.0 + eps_prime) * (1.0 + eps_prime);
+  return grow * (1.0 - binary_entropy(tau));
+}
+
+double a_exponent_envelope(double tau) {
+  return a_exponent(tau, f_tau(tau));
+}
+
+double b_exponent_envelope(double tau) {
+  return b_exponent(tau, f_tau(tau));
+}
+
+}  // namespace seg

@@ -1,0 +1,32 @@
+// Exponent multipliers a(tau) and b(tau) of Theorems 1 and 2 (Fig. 3), and
+// the finite-N corrections used throughout the proofs:
+//
+//   tau'   = (tau N - 2)/(N - 1)               (Lemma 19)
+//   tau^   = tau [1 - 1/(tau N^{1/2 - eps})]   (radical region definition)
+//   a(tau) = [1 - (2e' + e'^2)] [1 - H(tau')]  (eqs. 12, 21)
+//   b(tau) = (3/2)(1 + e')^2 [1 - H(tau')]     (Thm. 1 upper bound)
+//
+// with e' > f(tau). The asymptotic (N -> infinity) curves use tau' = tau
+// and e' = f(tau) + delta; the paper plots the delta -> 0 envelope.
+#pragma once
+
+namespace seg {
+
+// Finite-N corrected intolerance tau' (approaches tau as N grows).
+double tau_prime(double tau, int N);
+
+// tau-hat used in the radical-region definition; eps in (0, 1/2).
+double tau_hat(double tau, int N, double eps);
+
+// Lower-bound exponent with an explicit epsilon'.
+double a_exponent(double tau, double eps_prime);
+
+// Upper-bound exponent with an explicit epsilon'.
+double b_exponent(double tau, double eps_prime);
+
+// Envelope curves as plotted in Fig. 3: epsilon' = f(tau) (its infimum).
+// Defined for tau in (tau_2, 1/2) u (1/2, 1 - tau_2); symmetric about 1/2.
+double a_exponent_envelope(double tau);
+double b_exponent_envelope(double tau);
+
+}  // namespace seg

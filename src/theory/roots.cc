@@ -1,0 +1,38 @@
+#include "theory/roots.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace seg {
+
+RootResult bisect(const std::function<double(double)>& f, double lo,
+                  double hi, double tol_x, int max_iter) {
+  RootResult result;
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, true, 0};
+  if (fhi == 0.0) return {hi, true, 0};
+  assert(std::signbit(flo) != std::signbit(fhi) &&
+         "bisect requires a sign change");
+  for (int i = 0; i < max_iter; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    ++result.iterations;
+    if (fmid == 0.0 || (hi - lo) * 0.5 < tol_x) {
+      result.x = mid;
+      result.converged = true;
+      return result;
+    }
+    if (std::signbit(fmid) == std::signbit(flo)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.x = 0.5 * (lo + hi);
+  result.converged = (hi - lo) * 0.5 < tol_x;
+  return result;
+}
+
+}  // namespace seg

@@ -1,0 +1,20 @@
+// Scalar root finding used to solve the paper's defining equations for
+// tau_1 (eq. 1) and tau_2 (eq. 3).
+#pragma once
+
+#include <functional>
+
+namespace seg {
+
+struct RootResult {
+  double x = 0.0;
+  bool converged = false;
+  int iterations = 0;
+};
+
+// Bisection on [lo, hi]; requires f(lo) and f(hi) of opposite sign.
+// Converges to |f| <= tol_f or interval width <= tol_x.
+RootResult bisect(const std::function<double(double)>& f, double lo,
+                  double hi, double tol_x = 1e-12, int max_iter = 200);
+
+}  // namespace seg

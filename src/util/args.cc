@@ -1,0 +1,75 @@
+#include "util/args.h"
+
+#include <cstdlib>
+
+namespace seg {
+
+namespace {
+
+bool is_flag(const std::string& s) {
+  return s.size() > 2 && s[0] == '-' && s[1] == '-';
+}
+
+}  // namespace
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!is_flag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--key value` if the next token is not itself a flag, else boolean.
+    if (i + 1 < argc && !is_flag(argv[i + 1])) {
+      values_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string ArgParser::get_string(const std::string& key,
+                                  std::string def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& key,
+                                std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const auto v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end == it->second.c_str()) ? def : v;
+}
+
+double ArgParser::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end == it->second.c_str()) ? def : v;
+}
+
+bool ArgParser::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& s = it->second;
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  return def;
+}
+
+}  // namespace seg

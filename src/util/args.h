@@ -1,0 +1,35 @@
+// A tiny, dependency-free CLI argument parser used by the examples and
+// bench harnesses. Accepts `--key=value`, `--key value` and boolean
+// `--flag` forms; everything else is collected as a positional argument.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace seg {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  // Typed getters with defaults. Malformed numeric values fall back to the
+  // default (the harnesses treat CLI input as best-effort).
+  std::string get_string(const std::string& key, std::string def = "") const;
+  std::int64_t get_int(const std::string& key, std::int64_t def = 0) const;
+  double get_double(const std::string& key, double def = 0.0) const;
+  bool get_bool(const std::string& key, bool def = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace seg

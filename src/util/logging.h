@@ -1,0 +1,45 @@
+// Minimal leveled logger. The simulator itself never logs from hot paths;
+// this exists for the experiment harnesses and examples.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace seg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Writes a single formatted line to stderr, thread-safe.
+void log_line(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace seg
+
+#define SEG_LOG_DEBUG ::seg::internal::LogMessage(::seg::LogLevel::kDebug)
+#define SEG_LOG_INFO ::seg::internal::LogMessage(::seg::LogLevel::kInfo)
+#define SEG_LOG_WARN ::seg::internal::LogMessage(::seg::LogLevel::kWarn)
+#define SEG_LOG_ERROR ::seg::internal::LogMessage(::seg::LogLevel::kError)

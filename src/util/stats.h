@@ -1,0 +1,89 @@
+// Statistics accumulators and small numeric helpers used throughout the
+// reproduction: running mean/variance (Welford), confidence intervals,
+// histograms, quantiles and least-squares linear fits.
+//
+// Everything here is deliberately dependency-free and header-light so the
+// hot loops in the simulator can use it without pulling in <iostream>.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace seg {
+
+// Welford online accumulator for mean / variance / extrema.
+// Numerically stable for long streams; O(1) per observation.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  // Standard error of the mean.
+  double sem() const;
+  // Half-width of the normal-approximation 95% confidence interval.
+  double ci95_half_width() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-range histogram with uniform bins plus underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  // Fraction of all observations (including under/overflow) in bin i.
+  double fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+// Result of an ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+  std::size_t n = 0;
+};
+
+// Fits a line through (x[i], y[i]). Requires x.size() == y.size() >= 2.
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+// Returns the q-quantile (0 <= q <= 1) of `values` using linear
+// interpolation between order statistics. `values` is copied and sorted.
+double quantile(std::vector<double> values, double q);
+
+// Sample mean of a vector (0 for empty input).
+double mean_of(const std::vector<double>& values);
+
+}  // namespace seg

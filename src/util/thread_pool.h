@@ -1,0 +1,50 @@
+// Small fixed-size thread pool used to parallelize independent Monte-Carlo
+// trials. Each trial derives its own RNG stream from the experiment seed,
+// so results are identical regardless of the number of workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace seg {
+
+class ThreadPool {
+ public:
+  // threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+// Runs fn(i) for i in [0, count) across the pool's workers and waits for
+// completion. fn must be safe to call concurrently for distinct i.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace seg

@@ -1,0 +1,118 @@
+// Tests for the asymmetric-intolerance variant (Barmpalias et al. [26]):
+// each type carries its own threshold.
+#include <gtest/gtest.h>
+
+#include "core/dynamics.h"
+#include "core/model.h"
+
+namespace seg {
+namespace {
+
+TEST(Asymmetric, DefaultIsSymmetric) {
+  ModelParams p{.n = 16, .w = 2, .tau = 0.45, .p = 0.5};
+  EXPECT_TRUE(p.symmetric());
+  EXPECT_EQ(p.happy_threshold_of(+1), p.happy_threshold_of(-1));
+  EXPECT_DOUBLE_EQ(p.tau_of(+1), p.tau_of(-1));
+}
+
+TEST(Asymmetric, DistinctThresholdsPerType) {
+  ModelParams p{.n = 16, .w = 2, .tau = 0.48, .p = 0.5, .tau_minus = 0.32};
+  EXPECT_FALSE(p.symmetric());
+  EXPECT_EQ(p.happy_threshold_of(+1), 12);  // ceil(0.48 * 25)
+  EXPECT_EQ(p.happy_threshold_of(-1), 8);   // ceil(0.32 * 25)
+  EXPECT_DOUBLE_EQ(p.tau_of(-1), 0.32);
+}
+
+TEST(Asymmetric, ExplicitEqualTauMinusIsSymmetric) {
+  ModelParams p{.n = 16, .w = 2, .tau = 0.4, .p = 0.5, .tau_minus = 0.4};
+  EXPECT_TRUE(p.symmetric());
+}
+
+TEST(Asymmetric, HappinessUsesOwnTypeThreshold) {
+  // 50/50 vertical halves: agents one column from the boundary see 15 of
+  // 25 same-type (3 of 5 columns). With tau = 0.7 for +1 (K = 18) and
+  // tau = 0.3 for -1 (K = 8), the mirrored (+1) and (-1) agents with the
+  // same same-type count get opposite classifications.
+  const int n = 16;
+  ModelParams p{.n = n, .w = 2, .tau = 0.7, .p = 0.5, .tau_minus = 0.3};
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      spins[y * n + x] = (x < n / 2) ? 1 : -1;
+    }
+  }
+  SchellingModel m(p, spins);
+  const std::uint32_t plus_agent = m.id_of(n / 2 - 1, 8);
+  EXPECT_EQ(m.same_count(plus_agent), 15);
+  EXPECT_TRUE(m.is_unhappy(plus_agent));  // 15 < 18
+  const std::uint32_t minus_agent = m.id_of(n / 2, 8);
+  EXPECT_EQ(m.same_count(minus_agent), 15);
+  EXPECT_TRUE(m.is_happy(minus_agent));  // 15 >= 8
+}
+
+TEST(Asymmetric, FlipUsesTargetTypeThreshold) {
+  // A -1 agent flipping to +1 must satisfy the +1 threshold.
+  const int n = 12;
+  ModelParams p{.n = n, .w = 1, .tau = 0.9, .p = 0.5, .tau_minus = 0.5};
+  // Single -1 in a sea of +1: it is unhappy (1 of 9 < ceil(4.5) = 5).
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n, 1);
+  spins[5 * n + 5] = -1;
+  SchellingModel m(p, spins);
+  const std::uint32_t id = m.id_of(5, 5);
+  ASSERT_TRUE(m.is_unhappy(id));
+  // After flip it would have 9 same-type >= ceil(0.9*9) = 9 -> flippable.
+  EXPECT_TRUE(m.flip_makes_happy(id));
+  m.flip(id);
+  EXPECT_TRUE(m.is_happy(id));
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Asymmetric, InvariantsHoldThroughDynamics) {
+  ModelParams p{.n = 24, .w = 2, .tau = 0.45, .p = 0.5, .tau_minus = 0.38};
+  Rng init(3);
+  SchellingModel m(p, init);
+  Rng dyn(4);
+  RunOptions opt;
+  opt.max_flips = 5000;  // asymmetric dynamics has no Lyapunov guarantee
+  run_glauber(m, dyn, opt);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Asymmetric, BarmpaliasStaticRegime) {
+  // [26]: for tau_1 = tau_2 = tau > 3/4 or < 1/4 the configuration is
+  // static w.h.p. Mirror with explicit tau_minus.
+  for (const double tau : {0.15, 0.85}) {
+    ModelParams p{.n = 32, .w = 2, .tau = tau, .p = 0.5, .tau_minus = tau};
+    Rng init(static_cast<std::uint64_t>(tau * 100));
+    SchellingModel m(p, init);
+    Rng dyn(7);
+    RunOptions opt;
+    opt.max_flips = 100000;
+    const RunResult r = run_glauber(m, dyn, opt);
+    EXPECT_TRUE(r.terminated) << tau;
+    EXPECT_LT(r.flips, 10u) << tau;
+  }
+}
+
+TEST(Asymmetric, MoreTolerantMinorityFlipsMore) {
+  // When -1 agents are far more intolerant than +1 agents, more -1 agents
+  // are initially unhappy, so early flips skew toward -1 -> +1 and the
+  // +1 share grows.
+  ModelParams p{.n = 48, .w = 2, .tau = 0.30, .p = 0.5, .tau_minus = 0.49};
+  Rng init(11);
+  SchellingModel m(p, init);
+  const double plus_before = m.plus_fraction();
+  Rng dyn(12);
+  RunOptions opt;
+  opt.max_flips = 20000;
+  run_glauber(m, dyn, opt);
+  EXPECT_GT(m.plus_fraction(), plus_before);
+}
+
+TEST(Asymmetric, ValidationRejectsBadTauMinus) {
+  ModelParams p{.n = 16, .w = 2, .tau = 0.4, .p = 0.5, .tau_minus = 1.5};
+  EXPECT_FALSE(p.valid());
+}
+
+}  // namespace
+}  // namespace seg

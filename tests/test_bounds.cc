@@ -1,0 +1,171 @@
+#include "theory/bounds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+
+namespace seg {
+namespace {
+
+TEST(Log2Binomial, SmallExactValues) {
+  EXPECT_DOUBLE_EQ(log2_binomial(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log2_binomial(5, 5), 0.0);
+  EXPECT_NEAR(log2_binomial(5, 2), std::log2(10.0), 1e-10);
+  EXPECT_NEAR(log2_binomial(10, 5), std::log2(252.0), 1e-10);
+}
+
+TEST(Log2Binomial, OutOfRangeIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log2_binomial(5, -1)));
+  EXPECT_TRUE(std::isinf(log2_binomial(5, 6)));
+}
+
+TEST(Log2BinomialCdf, MatchesDirectSummation) {
+  // P(Bin(8, 1/2) <= 3) = (1 + 8 + 28 + 56) / 256 = 93/256.
+  EXPECT_NEAR(std::exp2(log2_binomial_cdf_half(8, 3)), 93.0 / 256.0, 1e-12);
+}
+
+TEST(Log2BinomialCdf, FullRangeIsOne) {
+  EXPECT_DOUBLE_EQ(log2_binomial_cdf_half(8, 8), 0.0);
+  EXPECT_DOUBLE_EQ(log2_binomial_cdf_half(8, 20), 0.0);
+}
+
+TEST(Log2BinomialCdf, NegativeKIsZeroProbability) {
+  EXPECT_TRUE(std::isinf(log2_binomial_cdf_half(8, -1)));
+}
+
+TEST(Log2BinomialCdf, MedianIsAboutHalf) {
+  // P(Bin(2m+1, 1/2) <= m) = 1/2 exactly.
+  EXPECT_NEAR(std::exp2(log2_binomial_cdf_half(9, 4)), 0.5, 1e-12);
+}
+
+TEST(HappinessThreshold, CeilConvention) {
+  EXPECT_EQ(happiness_threshold(0.5, 9), 5);    // ceil(4.5)
+  EXPECT_EQ(happiness_threshold(0.5, 10), 5);   // exact
+  EXPECT_EQ(happiness_threshold(0.3, 10), 3);   // 3.0000000000000004 -> 3
+  EXPECT_EQ(happiness_threshold(0.34, 25), 9);  // ceil(8.5)
+  EXPECT_EQ(happiness_threshold(0.0, 25), 0);
+  EXPECT_EQ(happiness_threshold(1.0, 25), 25);
+}
+
+TEST(HappinessThreshold, PaperFig1Parameters) {
+  // tau = 0.42, N = 441 -> K = ceil(185.22) = 186.
+  EXPECT_EQ(happiness_threshold(0.42, 441), 186);
+}
+
+TEST(UnhappyProbability, MatchesMonteCarlo) {
+  const double tau = 0.45;
+  const int w = 2;
+  const int N = (2 * w + 1) * (2 * w + 1);
+  const double exact = unhappy_probability_exact(tau, N);
+  // Monte Carlo: draw the agent and its N-1 neighbors i.i.d. fair.
+  Rng rng(1234);
+  const int trials = 200000;
+  const int K = happiness_threshold(tau, N);
+  int unhappy = 0;
+  for (int t = 0; t < trials; ++t) {
+    int same = 1;  // self
+    for (int i = 0; i < N - 1; ++i) same += rng.bernoulli(0.5);
+    unhappy += same < K;
+  }
+  EXPECT_NEAR(static_cast<double>(unhappy) / trials, exact, 0.01);
+}
+
+TEST(UnhappyProbability, IncreasesWithTau) {
+  const int N = 49;
+  double prev = unhappy_probability_exact(0.2, N);
+  for (double tau = 0.25; tau <= 0.5; tau += 0.05) {
+    const double cur = unhappy_probability_exact(tau, N);
+    EXPECT_GE(cur, prev) << tau;
+    prev = cur;
+  }
+}
+
+TEST(UnhappyProbability, ZeroWhenTauTiny) {
+  // tau*N < 2 means even 1 same-type agent (self) suffices.
+  EXPECT_DOUBLE_EQ(unhappy_probability_exact(0.01, 25), 0.0);
+}
+
+TEST(UnhappyProbability, AsymptoticTracksExactWithinPolyFactor) {
+  const double tau = 0.45;
+  for (const int w : {3, 5, 8}) {
+    const int N = (2 * w + 1) * (2 * w + 1);
+    const double exact = unhappy_probability_exact(tau, N);
+    const double asym = unhappy_probability_asymptotic(tau, N);
+    ASSERT_GT(exact, 0.0);
+    ASSERT_GT(asym, 0.0);
+    // Lemma 19: the ratio is bounded by constants (poly(N) slack allowed).
+    const double ratio = exact / asym;
+    EXPECT_GT(ratio, 1e-3) << "w=" << w;
+    EXPECT_LT(ratio, 1e3) << "w=" << w;
+  }
+}
+
+TEST(NeighborhoodSize, Squares) {
+  EXPECT_EQ(neighborhood_size(0), 1);
+  EXPECT_EQ(neighborhood_size(1), 9);
+  EXPECT_EQ(neighborhood_size(10), 441);
+}
+
+TEST(RadicalRadius, FloorConvention) {
+  EXPECT_EQ(radical_radius(10, 0.3), 13);
+  EXPECT_EQ(radical_radius(4, 0.5), 6);
+  EXPECT_EQ(radical_radius(3, 0.1), 3);
+}
+
+TEST(RadicalRegionProbability, InUnitInterval) {
+  for (const double tau : {0.36, 0.40, 0.45}) {
+    const double p = radical_region_probability_exact(tau, 4, 0.3, 0.25);
+    EXPECT_GE(p, 0.0) << tau;
+    EXPECT_LE(p, 1.0) << tau;
+  }
+}
+
+TEST(RadicalRegionProbability, DecreasesWithW) {
+  // Exponentially rarer as the neighborhood grows.
+  const double p3 = radical_region_probability_exact(0.45, 3, 0.3, 0.25);
+  const double p5 = radical_region_probability_exact(0.45, 5, 0.3, 0.25);
+  const double p8 = radical_region_probability_exact(0.45, 8, 0.3, 0.25);
+  EXPECT_GT(p3, p5);
+  EXPECT_GT(p5, p8);
+}
+
+TEST(RadicalRegionProbability, IncreasesWithTau) {
+  const double lo = radical_region_probability_exact(0.36, 5, 0.3, 0.25);
+  const double hi = radical_region_probability_exact(0.48, 5, 0.3, 0.25);
+  EXPECT_LT(lo, hi);
+}
+
+TEST(AzumaBound, BasicProperties) {
+  EXPECT_LE(azuma_two_sided_bound(0.0, 10), 1.0);
+  EXPECT_LT(azuma_two_sided_bound(10.0, 10), azuma_two_sided_bound(1.0, 10));
+  EXPECT_GT(azuma_two_sided_bound(5.0, 100), azuma_two_sided_bound(5.0, 1));
+}
+
+TEST(Lemma18Bound, ShrinksWithN) {
+  const double b1 = lemma18_bound(1.0, 0.1, 100);
+  const double b2 = lemma18_bound(1.0, 0.1, 10000);
+  EXPECT_LT(b2, b1);
+  EXPECT_LE(b1, 1.0);
+}
+
+TEST(Lemma18Bound, EmpiricalCoverage) {
+  // The bound must dominate the actual deviation probability.
+  const int N = 400;
+  const double c = 1.0, eps = 0.1;
+  const double dev = c * std::pow(N, 0.5 + eps);
+  Rng rng(99);
+  const int trials = 20000;
+  int exceed = 0;
+  for (int t = 0; t < trials; ++t) {
+    int wcount = 0;
+    for (int i = 0; i < N; ++i) wcount += rng.bernoulli(0.5);
+    if (std::abs(wcount - N / 2.0) >= dev) ++exceed;
+  }
+  EXPECT_LE(static_cast<double>(exceed) / trials,
+            lemma18_bound(c, eps, N) + 0.01);
+}
+
+}  // namespace
+}  // namespace seg

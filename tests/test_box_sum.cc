@@ -1,0 +1,111 @@
+#include "grid/box_sum.h"
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "grid/point.h"
+#include "rng/rng.h"
+
+namespace seg {
+namespace {
+
+// Reference O(n^2 N) implementation.
+std::vector<std::int32_t> naive_box_sum(const std::vector<std::int32_t>& v,
+                                        int n, int w) {
+  std::vector<std::int32_t> out(v.size(), 0);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      std::int32_t acc = 0;
+      for (int dy = -w; dy <= w; ++dy) {
+        for (int dx = -w; dx <= w; ++dx) {
+          acc += v[static_cast<std::size_t>(torus_wrap(y + dy, n)) * n +
+                   torus_wrap(x + dx, n)];
+        }
+      }
+      out[static_cast<std::size_t>(y) * n + x] = acc;
+    }
+  }
+  return out;
+}
+
+TEST(BoxSum, UniformFieldGivesBallSizeEverywhere) {
+  const int n = 8, w = 2;
+  std::vector<std::int32_t> ones(n * n, 1);
+  const auto sums = box_sum_torus(ones, n, w);
+  for (const auto s : sums) EXPECT_EQ(s, 25);
+}
+
+TEST(BoxSum, SingleImpulseSpreadsToBall) {
+  const int n = 9, w = 1;
+  std::vector<std::int32_t> v(n * n, 0);
+  v[4 * n + 4] = 1;
+  const auto sums = box_sum_torus(v, n, w);
+  int ones = 0;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const bool in_ball = torus_linf({x, y}, {4, 4}, n) <= w;
+      EXPECT_EQ(sums[y * n + x], in_ball ? 1 : 0);
+      ones += sums[y * n + x];
+    }
+  }
+  EXPECT_EQ(ones, 9);
+}
+
+TEST(BoxSum, ImpulseAtSeamWraps) {
+  const int n = 6, w = 1;
+  std::vector<std::int32_t> v(n * n, 0);
+  v[0] = 1;  // (0, 0)
+  const auto sums = box_sum_torus(v, n, w);
+  EXPECT_EQ(sums[5 * n + 5], 1);  // wrapped corner neighbor
+  EXPECT_EQ(sums[3 * n + 3], 0);
+}
+
+TEST(BoxSum, ZeroRadiusIsIdentity) {
+  const int n = 5;
+  std::vector<std::int32_t> v(n * n);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
+  EXPECT_EQ(box_sum_torus(v, n, 0), v);
+}
+
+TEST(BoxSum, ByteOverloadMatchesIntOverload) {
+  const int n = 7, w = 2;
+  Rng rng(5);
+  std::vector<std::uint8_t> bytes(n * n);
+  std::vector<std::int32_t> ints(n * n);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = rng.bernoulli(0.5) ? 1 : 0;
+    ints[i] = bytes[i];
+  }
+  EXPECT_EQ(box_sum_torus(bytes, n, w), box_sum_torus(ints, n, w));
+}
+
+TEST(BoxSum, NegativeValuesSupported) {
+  const int n = 6, w = 1;
+  Rng rng(8);
+  std::vector<std::int32_t> v(n * n);
+  for (auto& x : v) x = static_cast<std::int32_t>(rng.uniform_int(-5, 5));
+  EXPECT_EQ(box_sum_torus(v, n, w), naive_box_sum(v, n, w));
+}
+
+class BoxSumParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BoxSumParam, MatchesNaiveOnRandomField) {
+  const auto [n, w] = GetParam();
+  Rng rng(1000 + n * 17 + w);
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n) * n);
+  for (auto& x : v) x = static_cast<std::int32_t>(rng.uniform_below(4));
+  EXPECT_EQ(box_sum_torus(v, n, w), naive_box_sum(v, n, w))
+      << "n=" << n << " w=" << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepSizes, BoxSumParam,
+    ::testing::Values(std::tuple{3, 1}, std::tuple{5, 1}, std::tuple{5, 2},
+                      std::tuple{7, 3}, std::tuple{8, 2}, std::tuple{9, 4},
+                      std::tuple{12, 5}, std::tuple{16, 3}, std::tuple{17, 8},
+                      std::tuple{31, 7}));
+
+}  // namespace
+}  // namespace seg

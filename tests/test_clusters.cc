@@ -1,0 +1,118 @@
+#include "analysis/clusters.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "grid/point.h"
+#include "rng/rng.h"
+
+namespace seg {
+namespace {
+
+TEST(Clusters, UniformGridIsOneCluster) {
+  const int n = 6;
+  std::vector<std::int8_t> spins(n * n, 1);
+  const auto stats = cluster_stats(spins, n);
+  EXPECT_EQ(stats.cluster_count, 1u);
+  EXPECT_EQ(stats.largest_cluster, n * n);
+  EXPECT_EQ(stats.interface_length, 0);
+}
+
+TEST(Clusters, CheckerboardIsAllSingletons) {
+  const int n = 6;  // even: checkerboard is consistent on the torus
+  std::vector<std::int8_t> spins(n * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      spins[y * n + x] = ((x + y) % 2 == 0) ? 1 : -1;
+    }
+  }
+  const auto stats = cluster_stats(spins, n);
+  EXPECT_EQ(stats.cluster_count, static_cast<std::size_t>(n * n));
+  EXPECT_EQ(stats.largest_cluster, 1);
+  // Every one of the 2 n^2 (right, down) adjacencies crosses types.
+  EXPECT_EQ(stats.interface_length, 2 * n * n);
+}
+
+TEST(Clusters, TwoHalvesOnTorus) {
+  const int n = 8;
+  std::vector<std::int8_t> spins(n * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      spins[y * n + x] = (x < n / 2) ? 1 : -1;
+    }
+  }
+  const auto stats = cluster_stats(spins, n);
+  EXPECT_EQ(stats.cluster_count, 2u);
+  EXPECT_EQ(stats.largest_cluster, n * n / 2);
+  // Two vertical boundaries of length n each (one at n/2, one wrapped).
+  EXPECT_EQ(stats.interface_length, 2 * n);
+}
+
+TEST(Clusters, LabelsPartitionTheGrid) {
+  const int n = 12;
+  Rng rng(3);
+  std::vector<std::int8_t> spins(n * n);
+  for (auto& s : spins) s = rng.bernoulli(0.5) ? 1 : -1;
+  const auto labels = label_clusters(spins, n);
+  ASSERT_EQ(labels.label.size(), spins.size());
+  const std::int64_t total =
+      std::accumulate(labels.size.begin(), labels.size.end(),
+                      std::int64_t{0});
+  EXPECT_EQ(total, static_cast<std::int64_t>(spins.size()));
+  // Adjacent same-spin sites share labels; opposite spins never do.
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * n + x;
+      const std::size_t right =
+          static_cast<std::size_t>(y) * n + torus_wrap(x + 1, n);
+      if (spins[i] == spins[right]) {
+        EXPECT_EQ(labels.label[i], labels.label[right]);
+      } else {
+        EXPECT_NE(labels.label[i], labels.label[right]);
+      }
+    }
+  }
+}
+
+TEST(Clusters, WrappingClusterJoinsAcrossSeam) {
+  const int n = 5;
+  std::vector<std::int8_t> spins(n * n, -1);
+  // A horizontal stripe through the seam.
+  for (int x = 0; x < n; ++x) spins[2 * n + x] = 1;
+  const auto labels = label_clusters(spins, n);
+  EXPECT_EQ(labels.label[2 * n + 0], labels.label[2 * n + (n - 1)]);
+}
+
+TEST(Segregated, DetectsCompleteSegregation) {
+  EXPECT_TRUE(completely_segregated(std::vector<std::int8_t>(9, 1)));
+  EXPECT_TRUE(completely_segregated(std::vector<std::int8_t>(9, -1)));
+  std::vector<std::int8_t> mixed(9, 1);
+  mixed[4] = -1;
+  EXPECT_FALSE(completely_segregated(mixed));
+}
+
+TEST(Segregated, MajorityFraction) {
+  std::vector<std::int8_t> spins(10, 1);
+  EXPECT_DOUBLE_EQ(majority_fraction(spins), 1.0);
+  for (int i = 0; i < 5; ++i) spins[i] = -1;
+  EXPECT_DOUBLE_EQ(majority_fraction(spins), 0.5);
+  spins[0] = 1;
+  EXPECT_DOUBLE_EQ(majority_fraction(spins), 0.6);
+}
+
+TEST(Clusters, ModelOverloadAgrees) {
+  ModelParams p{.n = 10, .w = 1, .tau = 0.4, .p = 0.5};
+  Rng rng(9);
+  SchellingModel m(p, rng);
+  const auto a = cluster_stats(m);
+  const auto b = cluster_stats(m.spins(), m.side());
+  EXPECT_EQ(a.cluster_count, b.cluster_count);
+  EXPECT_EQ(a.largest_cluster, b.largest_cluster);
+  EXPECT_EQ(a.interface_length, b.interface_length);
+}
+
+}  // namespace
+}  // namespace seg

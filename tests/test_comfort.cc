@@ -1,0 +1,138 @@
+// Tests for the comfort-band ("uncomfortable majority") variant from the
+// paper's concluding remarks.
+#include <gtest/gtest.h>
+
+#include "core/comfort.h"
+
+namespace seg {
+namespace {
+
+TEST(ComfortParams, BandThresholds) {
+  ComfortParams p{.n = 16, .w = 2, .tau_lo = 0.4, .tau_hi = 0.8, .p = 0.5};
+  EXPECT_EQ(p.k_lo(), 10);  // ceil(0.4 * 25)
+  EXPECT_EQ(p.k_hi(), 20);  // floor(0.8 * 25)
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(ComfortParams, FullBandRecoversBaseline) {
+  ComfortParams p{.n = 16, .w = 2, .tau_lo = 0.45, .tau_hi = 1.0, .p = 0.5};
+  EXPECT_EQ(p.k_hi(), 25);
+}
+
+TEST(ComfortParams, InvalidWhenBandInverted) {
+  ComfortParams p{.n = 16, .w = 2, .tau_lo = 0.8, .tau_hi = 0.4, .p = 0.5};
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(Comfort, UniformGridIsUncomfortableUnderCappedBand) {
+  // All same type: same-count = N > k_hi — everybody is unhappy, and a
+  // flip lands at same-count 1 < k_lo, so nobody is flippable: quiescent
+  // but unhappy.
+  ComfortParams p{.n = 12, .w = 2, .tau_lo = 0.4, .tau_hi = 0.8, .p = 0.5};
+  ComfortModel m(p, std::vector<std::int8_t>(144, 1));
+  EXPECT_EQ(m.count_unhappy(), 144u);
+  EXPECT_TRUE(m.quiescent());
+}
+
+TEST(Comfort, BaselineBandMatchesSchellingFlippability) {
+  const int n = 24;
+  Rng rng(5);
+  const auto spins = random_spins(n, 0.5, rng);
+  ComfortParams cp{.n = n, .w = 2, .tau_lo = 0.45, .tau_hi = 1.0, .p = 0.5};
+  ComfortModel cm(cp, spins);
+  ModelParams sp{.n = n, .w = 2, .tau = 0.45, .p = 0.5};
+  SchellingModel sm(sp, spins);
+  for (std::uint32_t id = 0; id < sm.agent_count(); ++id) {
+    EXPECT_EQ(cm.is_happy(id), sm.is_happy(id)) << id;
+    EXPECT_EQ(cm.is_flippable(id), sm.is_flippable(id)) << id;
+  }
+}
+
+TEST(Comfort, FlipMaintainsInvariants) {
+  ComfortParams p{.n = 16, .w = 2, .tau_lo = 0.4, .tau_hi = 0.75, .p = 0.5};
+  Rng rng(7);
+  ComfortModel m(p, rng);
+  for (int t = 0; t < 30; ++t) {
+    m.flip(static_cast<std::uint32_t>(rng.uniform_below(m.agent_count())));
+  }
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Comfort, RunStopsAtBudget) {
+  ComfortParams p{.n = 32, .w = 2, .tau_lo = 0.4, .tau_hi = 0.7, .p = 0.5};
+  Rng init(9);
+  ComfortModel m(p, init);
+  Rng dyn(10);
+  const ComfortRunResult r = run_comfort(m, dyn, 17);
+  EXPECT_LE(r.flips, 17u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Comfort, BaselineBandRunTerminatesAllHappy) {
+  ComfortParams p{.n = 24, .w = 2, .tau_lo = 0.45, .tau_hi = 1.0, .p = 0.5};
+  Rng init(11);
+  ComfortModel m(p, init);
+  Rng dyn(12);
+  const ComfortRunResult r = run_comfort(m, dyn, 1u << 20);
+  EXPECT_TRUE(r.quiescent);
+  EXPECT_EQ(m.count_unhappy(), 0u);
+}
+
+TEST(Comfort, CappedBandSuppressesGiantClusters) {
+  // The headline hypothesis of the paper's concluding remarks: if agents
+  // dislike being an overwhelming majority, large monochromatic regions
+  // should not form. Compare the largest same-type cluster under
+  // tau_hi = 1.0 vs tau_hi = 0.7.
+  const int n = 48;
+  Rng seed_rng(13);
+  const auto spins = random_spins(n, 0.5, seed_rng);
+
+  ComfortParams base{.n = n, .w = 2, .tau_lo = 0.45, .tau_hi = 1.0,
+                     .p = 0.5};
+  ComfortModel mb(base, spins);
+  Rng d1(14);
+  run_comfort(mb, d1, 1u << 20);
+
+  ComfortParams capped{.n = n, .w = 2, .tau_lo = 0.45, .tau_hi = 0.7,
+                       .p = 0.5};
+  ComfortModel mc(capped, spins);
+  Rng d2(15);
+  run_comfort(mc, d2, 200000);
+
+  // Largest same-type cluster, via a simple flood on the spin fields.
+  const auto largest = [&](const std::vector<std::int8_t>& s) {
+    std::vector<int> label(s.size(), -1);
+    std::int64_t best = 0;
+    std::vector<std::size_t> queue;
+    for (std::size_t start = 0; start < s.size(); ++start) {
+      if (label[start] >= 0) continue;
+      queue.clear();
+      queue.push_back(start);
+      label[start] = 1;
+      std::int64_t count = 0;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const auto cur = queue[head];
+        ++count;
+        const int x = static_cast<int>(cur % n);
+        const int y = static_cast<int>(cur / n);
+        const int dx[4] = {1, -1, 0, 0};
+        const int dy[4] = {0, 0, 1, -1};
+        for (int k = 0; k < 4; ++k) {
+          const std::size_t ni =
+              static_cast<std::size_t>(torus_wrap(y + dy[k], n)) * n +
+              torus_wrap(x + dx[k], n);
+          if (label[ni] < 0 && s[ni] == s[cur]) {
+            label[ni] = 1;
+            queue.push_back(ni);
+          }
+        }
+      }
+      best = std::max(best, count);
+    }
+    return best;
+  };
+  EXPECT_LT(largest(mc.spins()), largest(mb.spins()));
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,97 @@
+// Tests for pair correlations and the correlation length.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/correlation.h"
+#include "core/dynamics.h"
+#include "core/model.h"
+
+namespace seg {
+namespace {
+
+TEST(Correlation, UniformFieldHasZeroCenteredCorrelation) {
+  // <s> = 1, so C(r) = 1 - 1 = 0 everywhere.
+  const int n = 16;
+  std::vector<std::int8_t> spins(n * n, 1);
+  const auto c = pair_correlation(spins, n, 5);
+  for (const double v : c) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Correlation, CheckerboardAlternatesSign) {
+  const int n = 16;
+  std::vector<std::int8_t> spins(n * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      spins[y * n + x] = ((x + y) % 2 == 0) ? 1 : -1;
+    }
+  }
+  const auto c = pair_correlation(spins, n, 4);
+  EXPECT_NEAR(c[0], 1.0, 1e-12);
+  // r = 1: axes give -1, diagonals give +1 -> average 0.
+  EXPECT_NEAR(c[1], 0.0, 1e-12);
+  // r = 2: all four directions land on the same sublattice -> +1.
+  EXPECT_NEAR(c[2], 1.0, 1e-12);
+}
+
+TEST(Correlation, StripesDecorrelateAtHalfPeriod) {
+  // Vertical stripes of width 4: C(4) along x is -1, along y +1,
+  // diagonals -1 -> average negative at r = 4.
+  const int n = 16;
+  std::vector<std::int8_t> spins(n * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      spins[y * n + x] = (x / 4) % 2 == 0 ? 1 : -1;
+    }
+  }
+  const auto c = pair_correlation(spins, n, 4);
+  EXPECT_NEAR(c[0], 1.0, 1e-12);
+  EXPECT_LT(c[4], 0.0);
+}
+
+TEST(Correlation, RandomFieldDecorrelatesImmediately) {
+  const int n = 64;
+  Rng rng(1);
+  const auto spins = random_spins(n, 0.5, rng);
+  const auto c = pair_correlation(spins, n, 6);
+  EXPECT_NEAR(c[0], 1.0, 0.01);
+  for (std::size_t r = 1; r < c.size(); ++r) {
+    EXPECT_NEAR(c[r], 0.0, 0.05) << r;
+  }
+}
+
+TEST(Correlation, LengthOfRandomFieldIsTiny) {
+  const int n = 64;
+  Rng rng(2);
+  const auto spins = random_spins(n, 0.5, rng);
+  const auto c = pair_correlation(spins, n, 10);
+  EXPECT_LT(correlation_length(c), 1.5);
+}
+
+TEST(Correlation, LengthGrowsUnderSegregationDynamics) {
+  ModelParams p{.n = 64, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng init(3);
+  SchellingModel m(p, init);
+  const auto c0 = pair_correlation(m.spins(), m.side(), 16);
+  const double len0 = correlation_length(c0);
+  Rng dyn(4);
+  run_glauber(m, dyn);
+  const auto c1 = pair_correlation(m.spins(), m.side(), 16);
+  const double len1 = correlation_length(c1);
+  EXPECT_GT(len1, 2.0 * len0);
+}
+
+TEST(Correlation, LengthInterpolatesBetweenSamples) {
+  // Construct an artificial exactly-exponential decay and recover its
+  // crossing point.
+  std::vector<double> c;
+  for (int r = 0; r <= 10; ++r) c.push_back(std::exp(-r / 3.0));
+  EXPECT_NEAR(correlation_length(c), 3.0, 0.15);
+}
+
+TEST(Correlation, NonPositiveC0ReturnsZero) {
+  EXPECT_DOUBLE_EQ(correlation_length({0.0, 0.1}), 0.0);
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,158 @@
+#include "grid/distance_transform.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "grid/point.h"
+#include "rng/rng.h"
+
+namespace seg {
+namespace {
+
+// Reference O(n^2 * sources) chessboard distance.
+std::vector<std::int32_t> naive_chessboard(
+    const std::vector<std::uint8_t>& sources, int n) {
+  std::vector<Point> src;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      if (sources[static_cast<std::size_t>(y) * n + x]) src.push_back({x, y});
+    }
+  }
+  std::vector<std::int32_t> dist(sources.size(), -1);
+  if (src.empty()) return dist;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      int best = n;
+      for (const Point& s : src) {
+        best = std::min(best, torus_linf({x, y}, s, n));
+      }
+      dist[static_cast<std::size_t>(y) * n + x] = best;
+    }
+  }
+  return dist;
+}
+
+TEST(ChessboardDT, NoSourcesAllMinusOne) {
+  const int n = 4;
+  std::vector<std::uint8_t> src(n * n, 0);
+  const auto dist = chessboard_distance_torus(src, n);
+  for (const auto d : dist) EXPECT_EQ(d, -1);
+}
+
+TEST(ChessboardDT, AllSourcesAllZero) {
+  const int n = 4;
+  std::vector<std::uint8_t> src(n * n, 1);
+  const auto dist = chessboard_distance_torus(src, n);
+  for (const auto d : dist) EXPECT_EQ(d, 0);
+}
+
+TEST(ChessboardDT, SingleSourceEqualsLinfDistance) {
+  const int n = 9;
+  std::vector<std::uint8_t> src(n * n, 0);
+  src[4 * n + 4] = 1;
+  const auto dist = chessboard_distance_torus(src, n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      EXPECT_EQ(dist[y * n + x], torus_linf({x, y}, {4, 4}, n));
+    }
+  }
+}
+
+TEST(ChessboardDT, WrapsAroundSeam) {
+  const int n = 10;
+  std::vector<std::uint8_t> src(n * n, 0);
+  src[0] = 1;  // source at (0,0)
+  const auto dist = chessboard_distance_torus(src, n);
+  EXPECT_EQ(dist[9 * n + 9], 1);
+  EXPECT_EQ(dist[5 * n + 5], 5);
+}
+
+TEST(ChessboardDT, MatchesNaiveOnRandomFields) {
+  for (const int n : {3, 5, 8, 12}) {
+    Rng rng(77 + n);
+    std::vector<std::uint8_t> src(static_cast<std::size_t>(n) * n, 0);
+    for (auto& s : src) s = rng.bernoulli(0.15) ? 1 : 0;
+    EXPECT_EQ(chessboard_distance_torus(src, n), naive_chessboard(src, n))
+        << "n=" << n;
+  }
+}
+
+TEST(MonoBallRadius, UniformGridReportsMaxRadius) {
+  const int n = 7;
+  std::vector<std::int8_t> spins(n * n, 1);
+  const auto radius = mono_ball_radius(spins, n);
+  for (const auto r : radius) EXPECT_EQ(r, (n - 1) / 2);
+}
+
+TEST(MonoBallRadius, IsolatedOppositeSiteKillsNeighborhood) {
+  const int n = 9;
+  std::vector<std::int8_t> spins(n * n, 1);
+  spins[4 * n + 4] = -1;
+  const auto radius = mono_ball_radius(spins, n);
+  // The minority site itself: nearest +1 is adjacent, radius 0.
+  EXPECT_EQ(radius[4 * n + 4], 0);
+  // A site next to it can only host a radius-0 ball.
+  EXPECT_EQ(radius[4 * n + 5], 0);
+  // A site 4 away (linf) can host radius 3.
+  EXPECT_EQ(radius[4 * n + 8], 3);
+}
+
+TEST(MonoBallRadius, HalfAndHalfGrid) {
+  const int n = 8;
+  std::vector<std::int8_t> spins(n * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      spins[y * n + x] = x < n / 2 ? 1 : -1;
+    }
+  }
+  const auto radius = mono_ball_radius(spins, n);
+  // Column 1 is 1 step from the boundary at column 4 (wrapped boundary at
+  // column 7 is also distance 2): nearest opposite for x=1 is x=7 at
+  // linf distance 2; radius 1.
+  EXPECT_EQ(radius[0 * n + 1], 1);
+  // Column 0 touches the wrapped opposite column 7: radius 0.
+  EXPECT_EQ(radius[0 * n + 0], 0);
+}
+
+TEST(MonoBallRadius, BallsAreActuallyMonochromatic) {
+  const int n = 11;
+  Rng rng(123);
+  std::vector<std::int8_t> spins(n * n);
+  for (auto& s : spins) s = rng.bernoulli(0.7) ? 1 : -1;
+  const auto radius = mono_ball_radius(spins, n);
+  for (int cy = 0; cy < n; ++cy) {
+    for (int cx = 0; cx < n; ++cx) {
+      const std::int32_t r = radius[cy * n + cx];
+      ASSERT_GE(r, 0);
+      // Every site within radius r must share the center's spin.
+      const std::int8_t center = spins[cy * n + cx];
+      for (int dy = -r; dy <= r; ++dy) {
+        for (int dx = -r; dx <= r; ++dx) {
+          EXPECT_EQ(spins[torus_wrap(cy + dy, n) * n + torus_wrap(cx + dx, n)],
+                    center);
+        }
+      }
+      // And radius r+1 must fail (unless capped at the max radius).
+      if (r < (n - 1) / 2) {
+        bool found_opposite = false;
+        const int rr = r + 1;
+        for (int dy = -rr; dy <= rr && !found_opposite; ++dy) {
+          for (int dx = -rr; dx <= rr; ++dx) {
+            if (spins[torus_wrap(cy + dy, n) * n + torus_wrap(cx + dx, n)] !=
+                center) {
+              found_opposite = true;
+              break;
+            }
+          }
+        }
+        EXPECT_TRUE(found_opposite) << "radius not maximal at " << cx << ","
+                                    << cy;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seg

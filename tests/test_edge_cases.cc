@@ -1,0 +1,175 @@
+// Edge-of-parameter-space behaviors: extreme intolerance, minimal grids,
+// synchronous oscillators, and boundary thresholds.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamics.h"
+#include "core/model.h"
+#include "theory/bounds.h"
+
+namespace seg {
+namespace {
+
+bool completely_monochromatic(const SchellingModel& m) {
+  for (std::uint32_t id = 1; id < m.agent_count(); ++id) {
+    if (m.spin(id) != m.spin(0)) return false;
+  }
+  return true;
+}
+
+TEST(EdgeCases, TauZeroEveryoneHappyForever) {
+  ModelParams p{.n = 16, .w = 2, .tau = 0.0, .p = 0.5};
+  Rng rng(1);
+  SchellingModel m(p, rng);
+  EXPECT_EQ(m.count_unhappy(), 0u);
+  EXPECT_TRUE(m.terminated());
+  Rng dyn(2);
+  EXPECT_EQ(run_glauber(m, dyn).flips, 0u);
+}
+
+TEST(EdgeCases, TauOneAlmostEveryoneUnhappyAndStuck) {
+  // K = N: happy only inside a fully monochromatic neighborhood. A flip
+  // helps only if the agent is the lone dissenter in its ball, which a
+  // balanced random field essentially never provides at N = 25 — but the
+  // classification itself must be consistent.
+  ModelParams p{.n = 24, .w = 2, .tau = 1.0, .p = 0.5};
+  Rng rng(3);
+  SchellingModel m(p, rng);
+  EXPECT_EQ(m.happy_threshold(), 25);
+  for (const std::uint32_t id : m.flippable_set().items()) {
+    EXPECT_EQ(m.same_count(id), 1);  // lone dissenter
+  }
+  Rng dyn(4);
+  RunOptions opt;
+  opt.max_flips = 100000;
+  const RunResult r = run_glauber(m, dyn, opt);
+  EXPECT_TRUE(r.terminated);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(EdgeCases, LoneDissenterFlipsAtTauOne) {
+  ModelParams p{.n = 12, .w = 1, .tau = 1.0, .p = 0.5};
+  std::vector<std::int8_t> spins(144, 1);
+  spins[5 * 12 + 5] = -1;
+  SchellingModel m(p, spins);
+  const std::uint32_t id = m.id_of(5, 5);
+  EXPECT_TRUE(m.is_flippable(id));
+  Rng dyn(5);
+  const RunResult r = run_glauber(m, dyn);
+  EXPECT_TRUE(r.terminated);
+  EXPECT_EQ(r.flips, 1u);
+  EXPECT_EQ(m.count_unhappy(), 0u);
+}
+
+TEST(EdgeCases, NeighborhoodCoveringWholeGrid) {
+  // n = 2w + 1: every agent's neighborhood is the entire torus, so every
+  // agent shares the same plus count.
+  ModelParams p{.n = 5, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng rng(6);
+  SchellingModel m(p, rng);
+  const std::int32_t c0 = m.plus_count(0);
+  for (std::uint32_t id = 1; id < m.agent_count(); ++id) {
+    EXPECT_EQ(m.plus_count(id), c0);
+  }
+  m.flip(0);
+  EXPECT_TRUE(m.check_invariants());
+  for (std::uint32_t id = 1; id < m.agent_count(); ++id) {
+    EXPECT_EQ(m.plus_count(id), m.plus_count(0));
+  }
+}
+
+TEST(EdgeCases, SynchronousStripeOscillatorDetected) {
+  // Width-1 vertical stripes at w = 1, tau = 2/3: every agent has 3 of 9
+  // same-type (unhappy, K = 6) and flipping yields 9 - 3 + 1 = 7 >= 6, so
+  // the synchronous rule flips *everyone*, producing the complementary
+  // stripe pattern — a period-2 oscillation the engine must detect.
+  const int n = 12;
+  ModelParams p{.n = n, .w = 1, .tau = 2.0 / 3.0, .p = 0.5};
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      spins[y * n + x] = (x % 2 == 0) ? 1 : -1;
+    }
+  }
+  SchellingModel m(p, spins);
+  EXPECT_EQ(m.flippable_set().size(), m.agent_count());
+  const RunResult r = run_synchronous(m, 50);
+  EXPECT_TRUE(r.cycle_detected);
+  EXPECT_FALSE(r.terminated);
+}
+
+TEST(EdgeCases, AsynchronousStripesDoNotOscillate) {
+  // The same oscillator under asynchronous Glauber dynamics must still
+  // absorb (the Lyapunov argument needs asynchrony — this is exactly why
+  // the paper's model uses Poisson clocks).
+  const int n = 12;
+  ModelParams p{.n = n, .w = 1, .tau = 2.0 / 3.0, .p = 0.5};
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      spins[y * n + x] = (x % 2 == 0) ? 1 : -1;
+    }
+  }
+  SchellingModel m(p, spins);
+  Rng dyn(7);
+  const RunResult r = run_glauber(m, dyn);
+  EXPECT_TRUE(r.terminated);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(EdgeCases, UnhappyProbabilityAtTauOne) {
+  // Unhappy iff not all N-1 others share the type:
+  // p_u = 1 - 2^{-(N-1)}.
+  const int N = 9;
+  EXPECT_NEAR(unhappy_probability_exact(1.0, N),
+              1.0 - std::exp2(-(N - 1)), 1e-12);
+}
+
+TEST(EdgeCases, UnhappyProbabilityAtTauZeroIsZero) {
+  EXPECT_DOUBLE_EQ(unhappy_probability_exact(0.0, 25), 0.0);
+}
+
+TEST(EdgeCases, AllMinusInitialFieldAtPZero) {
+  ModelParams p{.n = 16, .w = 2, .tau = 0.45, .p = 0.0};
+  Rng rng(8);
+  SchellingModel m(p, rng);
+  EXPECT_DOUBLE_EQ(m.plus_fraction(), 0.0);
+  EXPECT_TRUE(m.terminated());
+}
+
+TEST(EdgeCases, MaxFlipsZeroDoesNothing) {
+  ModelParams p{.n = 16, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng rng(9);
+  SchellingModel m(p, rng);
+  const auto before = m.spins();
+  Rng dyn(10);
+  RunOptions opt;
+  opt.max_flips = 0;
+  const RunResult r = run_glauber(m, dyn, opt);
+  EXPECT_EQ(r.flips, 0u);
+  EXPECT_EQ(m.spins(), before);
+}
+
+TEST(EdgeCases, HappinessThresholdBoundaryRationals) {
+  // tau exactly K/N must give threshold K (the paper's tau = ceil(t~ N)/N
+  // convention), not K+1 from floating-point drift.
+  EXPECT_EQ(happiness_threshold(11.0 / 25.0, 25), 11);
+  EXPECT_EQ(happiness_threshold(186.0 / 441.0, 441), 186);
+  EXPECT_EQ(happiness_threshold(0.5, 441), 221);  // ceil(220.5)
+}
+
+TEST(EdgeCases, DiscreteDynamicsOnLoneDissenter) {
+  ModelParams p{.n = 12, .w = 1, .tau = 0.4, .p = 0.5};
+  std::vector<std::int8_t> spins(144, -1);
+  spins[3 * 12 + 3] = 1;
+  SchellingModel m(p, spins);
+  Rng dyn(11);
+  const RunResult r = run_discrete(m, dyn);
+  EXPECT_TRUE(r.terminated);
+  EXPECT_EQ(r.flips, 1u);
+  EXPECT_TRUE(completely_monochromatic(m));
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,240 @@
+#include "firewall/annulus.h"
+#include "firewall/radical.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamics.h"
+
+namespace seg {
+namespace {
+
+TEST(Annulus, SitesLieInTheRightDistanceBand) {
+  const int n = 64;
+  const Point c{32, 32};
+  const double r = 20.0;
+  const int w = 3;
+  const auto sites = annulus_sites(c, r, w, n);
+  ASSERT_FALSE(sites.empty());
+  const double inner = r - std::sqrt(2.0) * w;
+  for (const auto id : sites) {
+    const Point p{static_cast<int>(id % n), static_cast<int>(id / n)};
+    const double d = std::sqrt(static_cast<double>(torus_l2_sq(c, p, n)));
+    EXPECT_GE(d, inner - 1e-9);
+    EXPECT_LE(d, r + 1e-9);
+  }
+}
+
+TEST(Annulus, InteriorIsStrictlyInside) {
+  const int n = 64;
+  const Point c{32, 32};
+  const double r = 18.0;
+  const int w = 3;
+  const auto interior = annulus_interior(c, r, w, n);
+  const double inner = r - std::sqrt(2.0) * w;
+  ASSERT_FALSE(interior.empty());
+  for (const auto id : interior) {
+    const Point p{static_cast<int>(id % n), static_cast<int>(id / n)};
+    const double d = std::sqrt(static_cast<double>(torus_l2_sq(c, p, n)));
+    EXPECT_LT(d, inner);
+  }
+}
+
+TEST(Annulus, DisjointPartitionWithInterior) {
+  const int n = 48;
+  const Point c{24, 24};
+  const auto ring = annulus_sites(c, 15.0, 2, n);
+  const auto inside = annulus_interior(c, 15.0, 2, n);
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(n) * n, 0);
+  for (const auto id : ring) {
+    EXPECT_EQ(seen[id], 0);
+    seen[id] = 1;
+  }
+  for (const auto id : inside) {
+    EXPECT_EQ(seen[id], 0);
+    seen[id] = 2;
+  }
+}
+
+TEST(FirewallCert, StableForModerateTauAndLargeRadius) {
+  // w = 3, tau = 0.42 (the paper's Fig. 1 intolerance): a radius-24
+  // annulus of width ~4.2 on a 64-torus is locally a straight band; every
+  // member keeps at least K = 21 protected neighbors (worst case 22).
+  const auto cert = firewall_certificate({32, 32}, 24.0, 3, 0.42, 64);
+  EXPECT_TRUE(cert.stable);
+  EXPECT_GT(cert.annulus_size, 0u);
+  EXPECT_GE(cert.min_margin, 0);
+}
+
+TEST(FirewallCert, UnstableWhenRadiusTooSmall) {
+  // A tiny annulus is strongly curved: corners of the neighborhood stick
+  // out into the (worst-case hostile) exterior.
+  const auto cert = firewall_certificate({32, 32}, 5.0, 3, 0.49, 64);
+  EXPECT_FALSE(cert.stable);
+}
+
+TEST(FirewallCert, HigherTauNeedsMoreProtection) {
+  const auto lo = firewall_certificate({32, 32}, 24.0, 3, 0.36, 64);
+  const auto hi = firewall_certificate({32, 32}, 24.0, 3, 0.49, 64);
+  // Same geometry, same same-type counts; margin shrinks as K grows.
+  EXPECT_GE(lo.min_margin, hi.min_margin);
+}
+
+TEST(FirewallCert, MinStableRadiusMonotoneInW) {
+  const int r2 = min_stable_firewall_radius(2, 0.42, 128, 3, 60);
+  const int r4 = min_stable_firewall_radius(4, 0.42, 128, 3, 60);
+  ASSERT_GT(r2, 0);
+  ASSERT_GT(r4, 0);
+  EXPECT_LE(r2, r4);  // wider neighborhoods need larger annuli
+}
+
+TEST(FirewallCert, Lemma9DynamicCounterpart) {
+  // Build the firewall configuration, then run full adversarial dynamics:
+  // the annulus and interior must never flip (they are never flippable),
+  // regardless of what the exterior does.
+  const int n = 64, w = 3;
+  const double r = 24.0, tau = 0.42;
+  const Point c{32, 32};
+  ASSERT_TRUE(firewall_certificate(c, r, w, tau, n).stable);
+
+  auto spins = make_firewall_config(c, r, w, n, +1);
+  // Adversarial exterior: random noise outside the firewall.
+  Rng noise(1);
+  const auto ring = annulus_sites(c, r, w, n);
+  const auto inside = annulus_interior(c, r, w, n);
+  std::vector<std::uint8_t> protected_site(spins.size(), 0);
+  for (const auto id : ring) protected_site[id] = 1;
+  for (const auto id : inside) protected_site[id] = 1;
+  for (std::size_t i = 0; i < spins.size(); ++i) {
+    if (!protected_site[i]) spins[i] = noise.bernoulli(0.5) ? 1 : -1;
+  }
+
+  ModelParams params{.n = n, .w = w, .tau = tau, .p = 0.5};
+  SchellingModel m(params, spins);
+  Rng dyn(2);
+  RunOptions opt;
+  opt.max_flips = 200000;
+  run_glauber(m, dyn, opt);
+  for (std::size_t i = 0; i < spins.size(); ++i) {
+    if (protected_site[i]) {
+      EXPECT_EQ(m.spin(static_cast<std::uint32_t>(i)), 1)
+          << "protected site flipped: " << i;
+    }
+  }
+}
+
+TEST(Radical, RadiusFormula) {
+  EXPECT_EQ(radical_region_radius(10, 0.3), 13);
+  EXPECT_EQ(radical_region_radius(4, 0.25), 5);
+}
+
+TEST(Radical, AllPlusNeighborhoodIsRadicalForMinusMinority) {
+  ModelParams p{.n = 48, .w = 3, .tau = 0.45, .p = 0.5};
+  SchellingModel m(p, std::vector<std::int8_t>(48 * 48, 1));
+  const RadicalParams rp{.eps_prime = 0.3, .eps = 0.25};
+  EXPECT_TRUE(is_radical_region(m, {24, 24}, rp, -1));
+  // And symmetric: it is not radical for +1 minority.
+  EXPECT_FALSE(is_radical_region(m, {24, 24}, rp, +1));
+}
+
+TEST(Radical, BalancedNeighborhoodIsNotRadical) {
+  const int n = 48;
+  ModelParams p{.n = n, .w = 3, .tau = 0.45, .p = 0.5};
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      spins[y * n + x] = ((x + y) % 2 == 0) ? 1 : -1;
+    }
+  }
+  SchellingModel m(p, spins);
+  const RadicalParams rp{.eps_prime = 0.3, .eps = 0.25};
+  EXPECT_FALSE(is_radical_region(m, {24, 24}, rp, -1));
+  EXPECT_FALSE(is_radical_region(m, {24, 24}, rp, +1));
+}
+
+TEST(Radical, ScannerFindsPlantedRegion) {
+  const int n = 64;
+  ModelParams p{.n = n, .w = 3, .tau = 0.45, .p = 0.5};
+  // Balanced noise everywhere except a planted +1 patch.
+  Rng rng(3);
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n);
+  for (auto& s : spins) s = rng.bernoulli(0.5) ? 1 : -1;
+  for (int y = 20; y < 40; ++y) {
+    for (int x = 20; x < 40; ++x) spins[y * n + x] = 1;
+  }
+  SchellingModel m(p, spins);
+  const RadicalParams rp{.eps_prime = 0.3, .eps = 0.25};
+  const auto centers = find_radical_regions(m, rp, -1);
+  bool found_inside_patch = false;
+  for (const Point c : centers) {
+    if (c.x >= 25 && c.x < 35 && c.y >= 25 && c.y < 35) {
+      found_inside_patch = true;
+    }
+  }
+  EXPECT_TRUE(found_inside_patch);
+}
+
+TEST(Radical, NucleusCheckOnPlantedConfiguration) {
+  // A radical region whose nucleus holds unhappy minority agents: plant a
+  // mostly-+1 region with a few -1 in the middle; those -1 are unhappy.
+  const int n = 48;
+  ModelParams p{.n = n, .w = 4, .tau = 0.45, .p = 0.5};
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n, 1);
+  spins[24 * n + 24] = -1;
+  spins[24 * n + 25] = -1;
+  spins[25 * n + 24] = -1;
+  SchellingModel m(p, spins);
+  const RadicalParams rp{.eps_prime = 0.5, .eps = 0.25};
+  const auto check = check_unhappy_nucleus(m, {24, 24}, rp, -1);
+  EXPECT_EQ(check.minority_in_nucleus, 3);
+  EXPECT_EQ(check.unhappy_minority_in_nucleus, 3);  // all isolated -> unhappy
+  EXPECT_TRUE(check.holds);  // required count is 0 at this small N
+}
+
+TEST(Radical, ExpansionSucceedsOnNearMonochromaticRegion) {
+  // A region with a thin sprinkle of -1: every -1 is unhappy and flips;
+  // the core becomes monochromatic within the budget.
+  const int n = 48;
+  ModelParams p{.n = n, .w = 4, .tau = 0.45, .p = 0.5};
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n, 1);
+  spins[24 * n + 24] = -1;
+  spins[23 * n + 26] = -1;
+  SchellingModel m(p, spins);
+  const RadicalParams rp{.eps_prime = 0.4, .eps = 0.25};
+  const auto result = try_expand_radical_region(m, {24, 24}, rp, -1);
+  EXPECT_TRUE(result.expanded);
+  EXPECT_LE(result.flips_used, 25u);  // (w+1)^2 budget
+  // The caller's model is untouched.
+  EXPECT_EQ(m.spin(m.id_of(24, 24)), -1);
+}
+
+TEST(Radical, ExpansionFailsOnBalancedRegion) {
+  const int n = 48;
+  ModelParams p{.n = n, .w = 3, .tau = 0.45, .p = 0.5};
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      spins[y * n + x] = ((x / 2 + y / 2) % 2 == 0) ? 1 : -1;  // 2x2 blocks
+    }
+  }
+  SchellingModel m(p, spins);
+  const RadicalParams rp{.eps_prime = 0.3, .eps = 0.25};
+  const auto result = try_expand_radical_region(m, {24, 24}, rp, -1);
+  EXPECT_FALSE(result.expanded);
+}
+
+TEST(SuperRadical, TauBarFormula) {
+  EXPECT_NEAR(tau_bar(0.6, 100), 0.42, 1e-12);
+  EXPECT_NEAR(tau_bar(0.55, 25), 0.53, 1e-12);
+}
+
+TEST(SuperRadical, UniformRegionIsSuperRadical) {
+  ModelParams p{.n = 48, .w = 3, .tau = 0.6, .p = 0.5};
+  SchellingModel m(p, std::vector<std::int8_t>(48 * 48, 1));
+  const RadicalParams rp{.eps_prime = 0.3, .eps = 0.25};
+  EXPECT_TRUE(is_super_radical_region(m, {24, 24}, rp, -1));
+}
+
+}  // namespace
+}  // namespace seg

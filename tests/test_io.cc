@@ -1,0 +1,132 @@
+#include "io/csv.h"
+#include "io/ppm.h"
+#include "io/table.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace seg {
+namespace {
+
+TEST(Ppm, HeaderAndSize) {
+  PpmImage img(3, 2);
+  const auto bytes = img.serialize();
+  const std::string header(bytes.begin(), bytes.begin() + 11);
+  EXPECT_EQ(header, "P6\n3 2\n255\n");
+  EXPECT_EQ(bytes.size(), 11u + 3u * 2u * 3u);
+}
+
+TEST(Ppm, SetGetRoundTrip) {
+  PpmImage img(4, 4);
+  img.set(1, 2, Rgb{10, 20, 30});
+  EXPECT_EQ(img.get(1, 2), (Rgb{10, 20, 30}));
+  EXPECT_EQ(img.get(0, 0), (Rgb{0, 0, 0}));
+}
+
+TEST(Ppm, PixelBytesInRowMajorRgbOrder) {
+  PpmImage img(2, 1);
+  img.set(0, 0, Rgb{1, 2, 3});
+  img.set(1, 0, Rgb{4, 5, 6});
+  const auto bytes = img.serialize();
+  const std::size_t off = bytes.size() - 6;
+  EXPECT_EQ(bytes[off + 0], 1);
+  EXPECT_EQ(bytes[off + 1], 2);
+  EXPECT_EQ(bytes[off + 2], 3);
+  EXPECT_EQ(bytes[off + 3], 4);
+  EXPECT_EQ(bytes[off + 4], 5);
+  EXPECT_EQ(bytes[off + 5], 6);
+}
+
+TEST(Ppm, WriteFileProducesBytes) {
+  PpmImage img(2, 2, Rgb{9, 9, 9});
+  const std::string path = ::testing::TempDir() + "/seg_test.ppm";
+  ASSERT_TRUE(img.write_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(static_cast<std::size_t>(size), img.serialize().size());
+}
+
+TEST(Ppm, Fig1PaletteDistinguishesAllFourStates) {
+  const Rgb hp = fig1_color(+1, true);
+  const Rgb hm = fig1_color(-1, true);
+  const Rgb up = fig1_color(+1, false);
+  const Rgb um = fig1_color(-1, false);
+  EXPECT_NE(hp, hm);
+  EXPECT_NE(hp, up);
+  EXPECT_NE(hm, um);
+  EXPECT_NE(up, um);
+  EXPECT_EQ(hp, fig1_palette::kHappyPlus);
+  EXPECT_EQ(um, fig1_palette::kUnhappyMinus);
+}
+
+TEST(Csv, HeaderOnly) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_EQ(csv.str(), "a,b\n");
+  EXPECT_EQ(csv.column_count(), 2u);
+}
+
+TEST(Csv, RowsAndTypes) {
+  CsvWriter csv({"name", "x", "k"});
+  csv.new_row().add("alpha").add(1.5).add(std::int64_t{7});
+  csv.new_row().add("beta").add(2.0).add(std::int64_t{-3});
+  EXPECT_EQ(csv.str(), "name,x,k\nalpha,1.5,7\nbeta,2,-3\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter csv({"v"});
+  csv.new_row().add("has,comma");
+  csv.new_row().add("has\"quote");
+  const std::string out = csv.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, WriteFile) {
+  CsvWriter csv({"x"});
+  csv.new_row().add(std::int64_t{1});
+  const std::string path = ::testing::TempDir() + "/seg_test.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const auto read = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, read), "x\n1\n");
+}
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"tau", "value"});
+  t.new_row().add("0.45").add("short");
+  t.new_row().add("0.433333").add("x");
+  const std::string out = t.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("tau"), std::string::npos);
+  EXPECT_NE(out.find("0.433333"), std::string::npos);
+}
+
+TEST(Table, NumericFormatting) {
+  TablePrinter t({"v"});
+  t.new_row().add(1.23456789, 3);
+  EXPECT_NE(t.str().find("1.235"), std::string::npos);
+  TablePrinter t2({"k"});
+  t2.new_row().add(std::int64_t{42});
+  EXPECT_NE(t2.str().find("42"), std::string::npos);
+}
+
+TEST(Table, ImplicitFirstRow) {
+  TablePrinter t({"a"});
+  t.add("x");  // no explicit new_row
+  EXPECT_NE(t.str().find('x'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seg

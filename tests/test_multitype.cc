@@ -1,0 +1,152 @@
+// Tests for the q-type (Potts-like) generalization.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "multitype/multi_model.h"
+
+namespace seg {
+namespace {
+
+TEST(MultiParams, Validation) {
+  MultiParams good{.n = 16, .w = 2, .q = 3, .tau = 0.4};
+  EXPECT_TRUE(good.valid());
+  MultiParams bad_q{.n = 16, .w = 2, .q = 1, .tau = 0.4};
+  EXPECT_FALSE(bad_q.valid());
+  MultiParams bad_w{.n = 3, .w = 2, .q = 3, .tau = 0.4};
+  EXPECT_FALSE(bad_w.valid());
+}
+
+TEST(Multi, UniformFieldIsHappyAndQuiescent) {
+  MultiParams p{.n = 12, .w = 2, .q = 3, .tau = 0.4};
+  MultiTypeModel m(p, std::vector<std::uint8_t>(144, 2));
+  EXPECT_DOUBLE_EQ(m.happy_fraction(), 1.0);
+  EXPECT_TRUE(m.quiescent());
+  EXPECT_EQ(largest_type_cluster(m), 144);
+}
+
+TEST(Multi, CountsMatchBruteForce) {
+  MultiParams p{.n = 12, .w = 2, .q = 4, .tau = 0.3};
+  Rng rng(1);
+  MultiTypeModel m(p, rng);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Multi, TypeFractionsSumToOne) {
+  MultiParams p{.n = 24, .w = 2, .q = 5, .tau = 0.3};
+  Rng rng(2);
+  MultiTypeModel m(p, rng);
+  const auto fractions = m.type_fractions();
+  ASSERT_EQ(fractions.size(), 5u);
+  double sum = 0;
+  for (const double f : fractions) {
+    sum += f;
+    EXPECT_NEAR(f, 0.2, 0.08);  // uniform initial distribution
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Multi, SetTypeUpdatesCountsIncrementally) {
+  MultiParams p{.n = 12, .w = 1, .q = 3, .tau = 0.3};
+  Rng rng(3);
+  MultiTypeModel m(p, rng);
+  const std::uint32_t id = m.id_of(5, 5);
+  const std::uint8_t old_type = m.type_of(id);
+  const auto new_type = static_cast<std::uint8_t>((old_type + 1) % 3);
+  const std::int32_t before_new = m.type_count_at(id, new_type);
+  m.set_type(id, new_type);
+  EXPECT_EQ(m.type_of(id), new_type);
+  EXPECT_EQ(m.type_count_at(id, new_type), before_new + 1);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Multi, SetSameTypeIsNoOp) {
+  MultiParams p{.n = 12, .w = 1, .q = 3, .tau = 0.3};
+  Rng rng(4);
+  MultiTypeModel m(p, rng);
+  const auto before = m.types();
+  m.set_type(m.id_of(3, 3), m.type_of(m.id_of(3, 3)));
+  EXPECT_EQ(m.types(), before);
+}
+
+TEST(Multi, FeasibleTypesRespectThreshold) {
+  // Field of type 0 with one type-1 agent: the stray is unhappy; its only
+  // feasible switch is to type 0 (type 2 has count 0 + 1 < K).
+  MultiParams p{.n = 12, .w = 1, .q = 3, .tau = 0.4};  // K = 4
+  std::vector<std::uint8_t> types(144, 0);
+  types[5 * 12 + 5] = 1;
+  MultiTypeModel m(p, types);
+  const std::uint32_t id = m.id_of(5, 5);
+  ASSERT_FALSE(m.is_happy(id));
+  const auto feasible = m.feasible_types(id);
+  ASSERT_EQ(feasible.size(), 1u);
+  EXPECT_EQ(feasible[0], 0);
+  EXPECT_TRUE(m.is_flippable(id));
+}
+
+TEST(Multi, RunReducesUnhappiness) {
+  MultiParams p{.n = 32, .w = 2, .q = 3, .tau = 0.4};
+  Rng init(5);
+  MultiTypeModel m(p, init);
+  const double before = m.happy_fraction();
+  Rng dyn(6);
+  const MultiRunResult r = run_multi(m, dyn, 1u << 20);
+  EXPECT_GT(m.happy_fraction(), before);
+  EXPECT_TRUE(m.check_invariants());
+  if (r.quiescent) {
+    // Quiescent means no flippable agent; with q >= 3 some unhappy agents
+    // may remain (no feasible switch).
+    for (std::uint32_t id = 0; id < m.agent_count(); ++id) {
+      EXPECT_FALSE(m.is_flippable(id));
+    }
+  }
+}
+
+TEST(Multi, SegregationGrowsLargestCluster) {
+  MultiParams p{.n = 32, .w = 2, .q = 3, .tau = 0.4};
+  Rng init(7);
+  MultiTypeModel m(p, init);
+  const std::int64_t before = largest_type_cluster(m);
+  Rng dyn(8);
+  run_multi(m, dyn, 1u << 20);
+  EXPECT_GT(largest_type_cluster(m), before);
+}
+
+TEST(Multi, TwoTypeCaseMatchesBinaryModelHappiness) {
+  const int n = 16;
+  MultiParams mp{.n = n, .w = 2, .q = 2, .tau = 0.45};
+  Rng rng(9);
+  std::vector<std::uint8_t> types(static_cast<std::size_t>(n) * n);
+  std::vector<std::int8_t> spins(types.size());
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    types[i] = rng.bernoulli(0.5) ? 1 : 0;
+    spins[i] = types[i] == 1 ? 1 : -1;
+  }
+  MultiTypeModel mm(mp, types);
+  ModelParams sp{.n = n, .w = 2, .tau = 0.45, .p = 0.5};
+  SchellingModel sm(sp, spins);
+  for (std::uint32_t id = 0; id < sm.agent_count(); ++id) {
+    EXPECT_EQ(mm.is_happy(id), sm.is_happy(id)) << id;
+    EXPECT_EQ(mm.is_flippable(id), sm.is_flippable(id)) << id;
+  }
+}
+
+TEST(Multi, MoreTypesLeaveMoreResidualUnhappiness) {
+  // With many types and uniform initialization, each type holds ~1/q of a
+  // neighborhood; at tau above 1/q agents are mostly unhappy and fewer
+  // switches are feasible — the multi-type system retains more residual
+  // unhappiness than the binary one at the same tau.
+  double happy_q2 = 0, happy_q5 = 0;
+  for (const int q : {2, 5}) {
+    MultiParams p{.n = 32, .w = 2, .q = q, .tau = 0.45};
+    Rng init(100 + q);
+    MultiTypeModel m(p, init);
+    Rng dyn(200 + q);
+    run_multi(m, dyn, 1u << 21);
+    (q == 2 ? happy_q2 : happy_q5) = m.happy_fraction();
+  }
+  EXPECT_GE(happy_q2, happy_q5);
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,246 @@
+#include "percolation/chemical.h"
+#include "percolation/clusters.h"
+#include "percolation/field.h"
+#include "percolation/fpp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace seg {
+namespace {
+
+TEST(SiteFieldTest, OpenFractionTracksP) {
+  Rng rng(1);
+  const SiteField f(200, 0.7, rng);
+  EXPECT_NEAR(f.open_fraction(), 0.7, 0.02);
+}
+
+TEST(SiteFieldTest, OutOfBoundsIsClosed) {
+  Rng rng(2);
+  const SiteField f(10, 1.0, rng);
+  EXPECT_FALSE(f.open(-1, 0));
+  EXPECT_FALSE(f.open(0, 10));
+  EXPECT_TRUE(f.open(0, 0));
+}
+
+TEST(SiteFieldTest, ExplicitConstruction) {
+  std::vector<std::uint8_t> open{1, 0, 0, 1};
+  const SiteField f(2, open);
+  EXPECT_TRUE(f.open(0, 0));
+  EXPECT_FALSE(f.open(1, 0));
+  EXPECT_TRUE(f.open(1, 1));
+}
+
+TEST(PercClustersTest, FullyOpenIsOneCluster) {
+  Rng rng(3);
+  const SiteField f(16, 1.0, rng);
+  const auto clusters = percolation_clusters(f);
+  EXPECT_EQ(clusters.size.size(), 1u);
+  EXPECT_EQ(clusters.largest, 256);
+}
+
+TEST(PercClustersTest, FullyClosedHasNoClusters) {
+  Rng rng(4);
+  const SiteField f(8, 0.0, rng);
+  const auto clusters = percolation_clusters(f);
+  EXPECT_TRUE(clusters.size.empty());
+  EXPECT_EQ(clusters.largest, 0);
+}
+
+TEST(PercClustersTest, DiagonalSitesAreSeparateClusters) {
+  // 4-connectivity: diagonal neighbors do not join.
+  std::vector<std::uint8_t> open{1, 0, 0, 1};
+  const SiteField f(2, open);
+  const auto clusters = percolation_clusters(f);
+  EXPECT_EQ(clusters.size.size(), 2u);
+}
+
+TEST(PercClustersTest, LabelsConsistentWithOpenness) {
+  Rng rng(5);
+  const SiteField f(32, 0.6, rng);
+  const auto clusters = percolation_clusters(f);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      EXPECT_EQ(clusters.label[f.index(x, y)] >= 0, f.open(x, y));
+    }
+  }
+}
+
+TEST(ClusterRadius, ClosedSiteReturnsMinusOne) {
+  std::vector<std::uint8_t> open{0, 1, 1, 1};
+  const SiteField f(2, open);
+  EXPECT_EQ(cluster_l1_radius(f, 0, 0), -1);
+}
+
+TEST(ClusterRadius, LineClusterRadius) {
+  // A horizontal line of 5 open sites; radius from the left end is 4.
+  const int L = 7;
+  std::vector<std::uint8_t> open(L * L, 0);
+  for (int x = 1; x <= 5; ++x) open[3 * L + x] = 1;
+  const SiteField f(L, open);
+  EXPECT_EQ(cluster_l1_radius(f, 1, 3), 4);
+  EXPECT_EQ(cluster_l1_radius(f, 3, 3), 2);
+}
+
+TEST(ClusterRadius, SubcriticalRadiiAreSmall) {
+  // p well below p_c: radii have exponential tails (Grimmett Thm. 5.4).
+  Rng rng(6);
+  int large = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const SiteField f(41, 0.35, rng);
+    const int r = cluster_l1_radius(f, 20, 20);
+    if (r > 15) ++large;
+  }
+  EXPECT_LT(large, trials / 20);  // < 5% reach radius 15
+}
+
+TEST(Spanning, FullyOpenSpans) {
+  Rng rng(7);
+  const SiteField f(12, 1.0, rng);
+  EXPECT_TRUE(spans_horizontally(f));
+}
+
+TEST(Spanning, ClosedColumnBlocksSpanning) {
+  const int L = 8;
+  std::vector<std::uint8_t> open(L * L, 1);
+  for (int y = 0; y < L; ++y) open[y * L + 4] = 0;
+  const SiteField f(L, open);
+  EXPECT_FALSE(spans_horizontally(f));
+}
+
+TEST(Spanning, SupercriticalUsuallySpans) {
+  Rng rng(8);
+  int spans = 0;
+  for (int t = 0; t < 20; ++t) {
+    const SiteField f(64, 0.75, rng);
+    spans += spans_horizontally(f);
+  }
+  EXPECT_GE(spans, 18);
+}
+
+TEST(LargestClusterFraction, ApproachesThetaAboveCriticality) {
+  Rng rng(9);
+  const SiteField f(128, 0.8, rng);
+  EXPECT_GT(largest_cluster_fraction(f), 0.9);
+  const SiteField g(128, 0.3, rng);
+  EXPECT_LT(largest_cluster_fraction(g), 0.1);
+}
+
+TEST(Chemical, DistanceOnFullyOpenEqualsL1) {
+  Rng rng(10);
+  const SiteField f(20, 1.0, rng);
+  EXPECT_EQ(chemical_distance(f, 0, 0, 7, 5), 12);
+  EXPECT_EQ(chemical_distance(f, 3, 3, 3, 3), 0);
+}
+
+TEST(Chemical, UnreachableIsMinusOne) {
+  const int L = 5;
+  std::vector<std::uint8_t> open(L * L, 1);
+  for (int y = 0; y < L; ++y) open[y * L + 2] = 0;  // separating column
+  const SiteField f(L, open);
+  EXPECT_EQ(chemical_distance(f, 0, 0, 4, 0), -1);
+}
+
+TEST(Chemical, DetourMeasured) {
+  // Open "U" shape forces a detour longer than l1.
+  const int L = 5;
+  std::vector<std::uint8_t> open(L * L, 0);
+  // Path: down the left, across the bottom, up the right.
+  for (int y = 0; y < L; ++y) {
+    open[y * L + 0] = 1;
+    open[y * L + 4] = 1;
+  }
+  for (int x = 0; x < L; ++x) open[4 * L + x] = 1;
+  const SiteField f(L, open);
+  EXPECT_EQ(chemical_distance(f, 0, 0, 4, 0), 12);  // l1 distance is 4
+}
+
+TEST(Chemical, StretchNearOneAtHighP) {
+  Rng rng(11);
+  double sum = 0;
+  int count = 0;
+  for (int t = 0; t < 30; ++t) {
+    const SiteField f(96, 0.95, rng);
+    const auto s = chemical_stretch(f, 8, 48, 88, 48);
+    if (s.connected) {
+      sum += s.stretch;
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 15);  // endpoints may be closed at p = 0.95
+  EXPECT_LT(sum / count, 1.10);  // Garet-Marchand: stretch -> ~1 as p -> 1
+  EXPECT_GE(sum / count, 1.0);
+}
+
+TEST(Chemical, DistancesVectorMatchesPointQuery) {
+  Rng rng(12);
+  const SiteField f(24, 0.7, rng);
+  const auto dist = chemical_distances(f, 5, 5);
+  EXPECT_EQ(dist[f.index(20, 20)], chemical_distance(f, 5, 5, 20, 20));
+}
+
+TEST(Fpp, ZeroWeightsGiveZeroTimes) {
+  FppField f(8, std::vector<double>(64, 0.0));
+  const auto t = f.passage_times(0, 0);
+  for (const double v : t) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Fpp, UnitWeightsGiveL1Distance) {
+  FppField f(10, std::vector<double>(100, 1.0));
+  const auto t = f.passage_times(0, 0);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);  // source excluded
+  EXPECT_DOUBLE_EQ(t[5], 5.0);
+  EXPECT_DOUBLE_EQ(t[9 * 10 + 9], 18.0);
+}
+
+TEST(Fpp, AvoidsExpensiveSites) {
+  // A cheap detour around one expensive site must be taken.
+  const int L = 3;
+  std::vector<double> w(L * L, 1.0);
+  w[1] = 100.0;  // (1, 0)
+  FppField f(L, w);
+  // 0,0 -> 2,0: direct path costs 101; detour via row 1 costs 4.
+  EXPECT_DOUBLE_EQ(f.axis_passage_time(0, 0, 2), 4.0);
+}
+
+TEST(Fpp, PassageTimesSatisfyTriangleLikeConsistency) {
+  Rng rng(13);
+  const FppField f(32, 1.0, rng);
+  const auto from_origin = f.passage_times(0, 0);
+  // Every site's time is bounded by neighbor time + own weight (Dijkstra
+  // fixed point).
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      if (x + 1 < 32) {
+        EXPECT_LE(from_origin[y * 32 + x + 1],
+                  from_origin[y * 32 + x] + f.weight(x + 1, y) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Fpp, MeanRateScalesWithRate) {
+  // Weights Exp(rate): passage times scale like 1/rate.
+  Rng rng1(14), rng2(14);
+  const FppField slow(48, 1.0, rng1);
+  const FppField fast(48, 10.0, rng2);
+  const double t_slow = slow.axis_passage_time(0, 24, 40);
+  const double t_fast = fast.axis_passage_time(0, 24, 40);
+  EXPECT_NEAR(t_fast, t_slow / 10.0, 1e-9);  // identical draws, scaled
+}
+
+TEST(Fpp, TimeConstantEmpiricallyStable) {
+  // T_k / k concentrates (Kesten): sample twice, expect close values.
+  Rng rng(15);
+  const int L = 128, k = 100;
+  const FppField f1(L, 1.0, rng);
+  const FppField f2(L, 1.0, rng);
+  const double r1 = f1.axis_passage_time(10, 64, k) / k;
+  const double r2 = f2.axis_passage_time(10, 64, k) / k;
+  EXPECT_NEAR(r1, r2, 0.15);
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,103 @@
+// Property-based sweeps over the (tau, w) parameter grid: invariants that
+// must hold for every run of the process, regardless of parameters.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamics.h"
+#include "core/model.h"
+
+namespace seg {
+namespace {
+
+class ProcessProperties
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(ProcessProperties, TerminatesWithConsistentState) {
+  const auto [tau, w] = GetParam();
+  const int n = 24;
+  ModelParams p{.n = n, .w = w, .tau = tau, .p = 0.5};
+  ASSERT_TRUE(p.valid());
+  Rng init(static_cast<std::uint64_t>(tau * 1000) * 31 + w);
+  SchellingModel m(p, init);
+
+  const std::int64_t lyapunov_initial = m.lyapunov();
+  Rng dyn(static_cast<std::uint64_t>(tau * 1000) * 37 + w);
+  const RunResult r = run_glauber(m, dyn);
+
+  // 1. The process terminates (Lyapunov argument of Sec. II-A).
+  EXPECT_TRUE(r.terminated);
+  // 2. At absorption no agent is flippable.
+  EXPECT_TRUE(m.flippable_set().empty());
+  for (std::uint32_t id = 0; id < m.agent_count(); ++id) {
+    EXPECT_FALSE(m.is_flippable(id));
+  }
+  // 3. For tau <= 1/2, unhappy implies flippable, so all agents are happy.
+  if (tau <= 0.5) {
+    EXPECT_EQ(m.count_unhappy(), 0u);
+  }
+  // 4. The Lyapunov function never decreased in aggregate.
+  EXPECT_GE(m.lyapunov(), lyapunov_initial);
+  // 5. Internal caches still agree with a from-scratch recount.
+  EXPECT_TRUE(m.check_invariants());
+  // 6. Continuous time is finite and nonnegative.
+  EXPECT_GE(r.final_time, 0.0);
+}
+
+TEST_P(ProcessProperties, FlipCountBoundedByLyapunovBudget) {
+  // Each flip raises the (integer) Lyapunov function by at least 1 and its
+  // maximum is n^2 * N, so flips <= n^2 N. A crude but rigorous bound.
+  const auto [tau, w] = GetParam();
+  const int n = 24;
+  ModelParams p{.n = n, .w = w, .tau = tau, .p = 0.5};
+  Rng init(static_cast<std::uint64_t>(tau * 10000) + w * 131);
+  SchellingModel m(p, init);
+  Rng dyn(static_cast<std::uint64_t>(tau * 10000) + w * 137);
+  const RunResult r = run_glauber(m, dyn);
+  const auto budget = static_cast<std::uint64_t>(n) * n *
+                      static_cast<std::uint64_t>(p.neighborhood_size());
+  EXPECT_LE(r.flips, budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TauWSweep, ProcessProperties,
+    ::testing::Combine(
+        ::testing::Values(0.15, 0.3, 0.36, 0.42, 0.45, 0.49, 0.5, 0.55,
+                          0.64, 0.75),
+        ::testing::Values(1, 2, 3)));
+
+class DiscreteEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiscreteEquivalence, DiscreteChainSharesAbsorptionProperties) {
+  const double tau = GetParam();
+  ModelParams p{.n = 24, .w = 2, .tau = tau, .p = 0.5};
+  Rng init(static_cast<std::uint64_t>(tau * 1e6));
+  SchellingModel m(p, init);
+  Rng dyn(static_cast<std::uint64_t>(tau * 1e6) + 1);
+  const RunResult r = run_discrete(m, dyn);
+  EXPECT_TRUE(r.terminated);
+  EXPECT_TRUE(m.flippable_set().empty());
+  if (tau <= 0.5) {
+    EXPECT_EQ(m.count_unhappy(), 0u);
+  }
+  EXPECT_TRUE(m.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, DiscreteEquivalence,
+                         ::testing::Values(0.3, 0.4, 0.45, 0.55, 0.6));
+
+class InitialBias : public ::testing::TestWithParam<double> {};
+
+TEST_P(InitialBias, PlusFractionTracksP) {
+  const double prob = GetParam();
+  ModelParams params{.n = 48, .w = 2, .tau = 0.45, .p = prob};
+  Rng rng(static_cast<std::uint64_t>(prob * 1e9));
+  SchellingModel m(params, rng);
+  EXPECT_NEAR(m.plus_fraction(), prob, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, InitialBias,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,193 @@
+#include "renorm/block_graph.h"
+#include "renorm/blocks.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+
+namespace seg {
+namespace {
+
+std::vector<std::int8_t> uniform_spins(int n, std::int8_t v) {
+  return std::vector<std::int8_t>(static_cast<std::size_t>(n) * n, v);
+}
+
+BlockParams small_params() {
+  // Threshold N^{1/2+eps} = 25^{0.55} ~ 5.87: small enough that a fully
+  // (-1) 4x4 window intersection (deviation 8) trips the classifier.
+  return BlockParams{.block_side = 8, .w_block_side = 4, .dynamics_N = 25,
+                     .eps = 0.05, .two_sided = false};
+}
+
+TEST(Blocks, AllPlusGridIsAllGood) {
+  const int n = 32;
+  const BlockGrid g(uniform_spins(n, 1), n, small_params());
+  EXPECT_EQ(g.bad_count(), 0u);
+  EXPECT_DOUBLE_EQ(g.bad_fraction(), 0.0);
+}
+
+TEST(Blocks, AllMinusGridOneSidedIsBad) {
+  // One-sided test counts (-1) surplus: a full 4x4 window intersection of
+  // an all-(-1) block has W_I - N_I/2 = 8 > 5.87.
+  const int n = 32;
+  const BlockGrid g(uniform_spins(n, -1), n, small_params());
+  EXPECT_EQ(g.good_count(), 0u);
+  EXPECT_DOUBLE_EQ(g.bad_fraction(), 1.0);
+}
+
+TEST(Blocks, TwoSidedRejectsBothSurpluses) {
+  auto params = small_params();
+  params.two_sided = true;
+  const int n = 32;
+  const BlockGrid gp(uniform_spins(n, 1), n, params);
+  const BlockGrid gm(uniform_spins(n, -1), n, params);
+  EXPECT_EQ(gp.good_count(), 0u);
+  EXPECT_EQ(gm.good_count(), 0u);
+}
+
+TEST(Blocks, BalancedRandomFieldIsMostlyGood) {
+  const int n = 64;
+  Rng rng(1);
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n);
+  for (auto& s : spins) s = rng.bernoulli(0.5) ? 1 : -1;
+  const BlockGrid g(spins, n, small_params());
+  EXPECT_GT(g.good_count(), g.bad_count());
+}
+
+TEST(Blocks, DeviationThresholdFormula) {
+  const BlockGrid g(uniform_spins(16, 1), 16, small_params());
+  EXPECT_NEAR(g.deviation_threshold(), std::pow(25.0, 0.55), 1e-12);
+}
+
+TEST(Blocks, GridGeometry) {
+  const BlockGrid g(uniform_spins(32, 1), 32, small_params());
+  EXPECT_EQ(g.blocks_per_side(), 4);
+  EXPECT_EQ(g.block_count(), 16u);
+}
+
+TEST(Blocks, LocalMinusPatchMakesOnlyItsBlockBad) {
+  const int n = 32;
+  auto spins = uniform_spins(n, 1);
+  // Fill one whole block (8..15, 8..15) with -1.
+  for (int y = 8; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) spins[y * n + x] = -1;
+  }
+  const BlockGrid g(spins, n, small_params());
+  EXPECT_FALSE(g.good(1, 1));
+  EXPECT_TRUE(g.good(3, 3));
+  EXPECT_EQ(g.bad_count(), 1u);
+}
+
+TEST(Blocks, SmallIntersectionsAreToleratedByConcentration) {
+  // A thin column of -1: a 4x4 window sees at most 4 of 16 sites minus
+  // (deviation -4); even a clipped 1x4 intersection lying entirely on the
+  // column deviates by only 4 - 2 = 2 — all below 5.87.
+  const int n = 32;
+  auto spins = uniform_spins(n, 1);
+  for (int y = 0; y < n; ++y) spins[y * n + 9] = -1;
+  const BlockGrid g(spins, n, small_params());
+  EXPECT_EQ(g.bad_count(), 0u);
+}
+
+TEST(BlockGraph, NoBadBlocksMeansZeroRadius) {
+  const BlockGrid g(uniform_spins(64, 1), 64, small_params());
+  EXPECT_EQ(max_bad_cluster_radius(g), 0);
+  EXPECT_EQ(bad_cluster_count(g), 0u);
+}
+
+TEST(BlockGraph, SingleBadBlockRadiusZero) {
+  const int n = 32;
+  auto spins = uniform_spins(n, 1);
+  for (int y = 8; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) spins[y * n + x] = -1;
+  }
+  const BlockGrid g(spins, n, small_params());
+  EXPECT_EQ(bad_cluster_count(g), 1u);
+  EXPECT_EQ(max_bad_cluster_radius(g), 0);
+}
+
+TEST(BlockGraph, AdjacentBadBlocksFormOneCluster) {
+  const int n = 64;
+  auto spins = uniform_spins(n, 1);
+  // Two horizontally adjacent bad blocks.
+  for (int y = 8; y < 16; ++y) {
+    for (int x = 8; x < 24; ++x) spins[y * n + x] = -1;
+  }
+  const BlockGrid g(spins, n, small_params());
+  EXPECT_EQ(bad_cluster_count(g), 1u);
+  EXPECT_EQ(max_bad_cluster_radius(g), 1);  // l1 diameter 1 -> radius 1
+}
+
+TEST(ChemicalPath, AllGoodGridHasPath) {
+  const int n = 15 * 8;
+  const BlockGrid g(uniform_spins(n, 1), n, small_params());
+  const auto r = find_chemical_path(g, 7, 7, 2, 6);
+  EXPECT_TRUE(r.cycle_exists);
+  EXPECT_TRUE(r.center_connected);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.path_length, 3);  // first annulus ring is 3 steps away
+}
+
+TEST(ChemicalPath, BadWallBlocksCycle) {
+  const int n = 15 * 8;
+  auto spins = uniform_spins(n, 1);
+  // A radial wall of bad blocks from the annulus inner ring to the outer
+  // ring at block row 7, columns 10..13 (center block (7,7), annulus
+  // radii 2..6).
+  for (int bx = 9; bx <= 13; ++bx) {
+    for (int y = 7 * 8; y < 8 * 8; ++y) {
+      for (int x = bx * 8; x < (bx + 1) * 8; ++x) spins[y * n + x] = -1;
+    }
+  }
+  const BlockGrid g(spins, n, small_params());
+  const auto r = find_chemical_path(g, 7, 7, 2, 6);
+  EXPECT_FALSE(r.cycle_exists);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(ChemicalPath, BadCenterBlocksConnection) {
+  const int n = 15 * 8;
+  auto spins = uniform_spins(n, 1);
+  for (int y = 7 * 8; y < 8 * 8; ++y) {
+    for (int x = 7 * 8; x < 8 * 8; ++x) spins[y * n + x] = -1;
+  }
+  const BlockGrid g(spins, n, small_params());
+  const auto r = find_chemical_path(g, 7, 7, 2, 6);
+  EXPECT_TRUE(r.cycle_exists);  // annulus itself untouched
+  EXPECT_FALSE(r.center_connected);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(ChemicalPath, IsolatedBadBlockInAnnulusDoesNotBlock) {
+  const int n = 15 * 8;
+  auto spins = uniform_spins(n, 1);
+  // One bad block inside the annulus; the cycle routes around it.
+  for (int y = 7 * 8; y < 8 * 8; ++y) {
+    for (int x = 11 * 8; x < 12 * 8; ++x) spins[y * n + x] = -1;
+  }
+  const BlockGrid g(spins, n, small_params());
+  const auto r = find_chemical_path(g, 7, 7, 2, 6);
+  EXPECT_TRUE(r.cycle_exists);
+  EXPECT_TRUE(r.found);
+}
+
+TEST(ChemicalPath, SupercriticalRandomFieldUsuallyHasPath) {
+  // Lemma 13's regime: good blocks are overwhelmingly likely, so the
+  // chemical path exists w.h.p.
+  Rng rng(7);
+  int found = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    const int n = 15 * 8;
+    std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n);
+    for (auto& s : spins) s = rng.bernoulli(0.5) ? 1 : -1;
+    const BlockGrid g(spins, n, small_params());
+    found += find_chemical_path(g, 7, 7, 2, 6).found;
+  }
+  EXPECT_GE(found, 8);
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,131 @@
+#include "core1d/ring_model.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace seg {
+namespace {
+
+TEST(Ring, UniformRingIsTerminated) {
+  RingParams p{.n = 64, .w = 2, .tau = 0.5, .p = 0.5};
+  RingModel m(p, std::vector<std::int8_t>(64, 1));
+  EXPECT_TRUE(m.terminated());
+  EXPECT_EQ(m.run_lengths(), std::vector<int>{64});
+  EXPECT_DOUBLE_EQ(m.mean_run_length(), 64.0);
+}
+
+TEST(Ring, SameCountMatchesBruteForce) {
+  RingParams p{.n = 32, .w = 3, .tau = 0.5, .p = 0.5};
+  Rng rng(1);
+  RingModel m(p, rng);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Ring, FlipTogglesAndPreservesInvariants) {
+  RingParams p{.n = 32, .w = 2, .tau = 0.4, .p = 0.5};
+  Rng rng(2);
+  RingModel m(p, rng);
+  const std::int8_t before = m.spin(10);
+  m.flip(10);
+  EXPECT_EQ(m.spin(10), -before);
+  EXPECT_TRUE(m.check_invariants());
+  m.flip(10);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Ring, WrappingIndices) {
+  RingParams p{.n = 16, .w = 1, .tau = 0.4, .p = 0.5};
+  Rng rng(3);
+  RingModel m(p, rng);
+  EXPECT_EQ(m.spin(-1), m.spin(15));
+  EXPECT_EQ(m.spin(16), m.spin(0));
+}
+
+TEST(Ring, GlauberTerminates) {
+  RingParams p{.n = 256, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng rng(4);
+  RingModel m(p, rng);
+  Rng dyn(5);
+  m.run_glauber(dyn);
+  EXPECT_TRUE(m.terminated());
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Ring, RunLengthsPartitionTheRing) {
+  RingParams p{.n = 128, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng rng(6);
+  RingModel m(p, rng);
+  const auto lengths = m.run_lengths();
+  EXPECT_EQ(std::accumulate(lengths.begin(), lengths.end(), 0), 128);
+  for (const int l : lengths) EXPECT_GE(l, 1);
+}
+
+TEST(Ring, RunLengthsAlternateTypes) {
+  RingParams p{.n = 12, .w = 1, .tau = 0.4, .p = 0.5};
+  // Explicit pattern: +++--+-----+ (wrapped).
+  std::vector<std::int8_t> spins{1, 1, 1, -1, -1, 1, -1, -1, -1, -1, -1, 1};
+  RingModel m(p, spins);
+  const auto lengths = m.run_lengths();
+  // Wrapped runs: the leading +++ joins the trailing +: runs are
+  // {4 (+), 2 (-), 1 (+), 5 (-)} in some rotation.
+  EXPECT_EQ(lengths.size(), 4u);
+  EXPECT_EQ(std::accumulate(lengths.begin(), lengths.end(), 0), 12);
+}
+
+TEST(Ring, SegregationGrowsRunLengths) {
+  RingParams p{.n = 4096, .w = 4, .tau = 0.45, .p = 0.5};
+  Rng rng(7);
+  RingModel m(p, rng);
+  const double before = m.mean_run_length();
+  Rng dyn(8);
+  m.run_glauber(dyn);
+  const double after = m.mean_run_length();
+  EXPECT_GT(after, before);
+}
+
+TEST(Ring, MeanRunLengthGrowsWithW) {
+  // Barmpalias et al.: segregated regions grow with the neighborhood.
+  double prev = 0.0;
+  for (const int w : {2, 4, 8}) {
+    RingParams p{.n = 1 << 13, .w = w, .tau = 0.45, .p = 0.5};
+    Rng rng(100 + w);
+    RingModel m(p, rng);
+    Rng dyn(200 + w);
+    m.run_glauber(dyn);
+    const double mean = m.mean_run_length();
+    EXPECT_GT(mean, prev) << "w=" << w;
+    prev = mean;
+  }
+}
+
+TEST(Ring, VeryLowTauIsNearlyStatic) {
+  RingParams p{.n = 4096, .w = 4, .tau = 0.2, .p = 0.5};
+  Rng rng(9);
+  RingModel m(p, rng);
+  Rng dyn(10);
+  const std::uint64_t flips = m.run_glauber(dyn);
+  // tau = 0.2 < tau* ~ 0.35: w.h.p. the configuration is static.
+  EXPECT_LT(flips, 50u);
+}
+
+TEST(Ring, FlipBudgetHonored) {
+  RingParams p{.n = 2048, .w = 3, .tau = 0.45, .p = 0.5};
+  Rng rng(11);
+  RingModel m(p, rng);
+  Rng dyn(12);
+  EXPECT_LE(m.run_glauber(dyn, 7), 7u);
+}
+
+TEST(Ring, DeterministicForSeed) {
+  RingParams p{.n = 512, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng ra(13), rb(13);
+  RingModel a(p, ra), b(p, rb);
+  Rng da(14), db(14);
+  a.run_glauber(da);
+  b.run_glauber(db);
+  EXPECT_EQ(a.spins(), b.spins());
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,152 @@
+#include "rng/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/splitmix64.h"
+
+namespace seg {
+namespace {
+
+TEST(SplitMix, DeterministicSequence) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(MixSeed, SensitiveToBothArguments) {
+  EXPECT_NE(mix_seed(1, 0), mix_seed(1, 1));
+  EXPECT_NE(mix_seed(1, 0), mix_seed(2, 0));
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, UniformBitGeneratorInterface) {
+  EXPECT_EQ(Xoshiro256::min(), 0u);
+  EXPECT_EQ(Xoshiro256::max(), ~0ULL);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformBelowRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformBelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(RngTest, UniformBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_below(6));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, UniformBelowApproximatelyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(8, 0);
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.uniform_below(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.125, 0.01);
+  }
+}
+
+TEST(RngTest, UniformIntClosedRange) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(29);
+  double sum = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / trials, 0.25, 0.005);
+}
+
+TEST(RngTest, ExponentialAlwaysNonNegative) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(RngTest, StreamsAreIndependentAndReproducible) {
+  Rng a = Rng::stream(100, 0);
+  Rng b = Rng::stream(100, 1);
+  Rng a2 = Rng::stream(100, 0);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  Rng a3 = Rng::stream(100, 0);
+  EXPECT_EQ(a2.next_u64(), a3.next_u64());
+}
+
+TEST(RngTest, AdjacentStreamsDecorrelated) {
+  // Crude cross-correlation check between stream i and i+1.
+  Rng a = Rng::stream(7, 10);
+  Rng b = Rng::stream(7, 11);
+  double corr = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    corr += (a.uniform() - 0.5) * (b.uniform() - 0.5);
+  }
+  EXPECT_NEAR(corr / trials, 0.0, 0.005);
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,129 @@
+// Tests for the neighborhood-shape generalization (Moore vs von Neumann).
+#include <gtest/gtest.h>
+
+#include "core/dynamics.h"
+#include "core/model.h"
+
+namespace seg {
+namespace {
+
+TEST(Shapes, OffsetStencilSizes) {
+  EXPECT_EQ(neighborhood_offsets(NeighborhoodShape::kMoore, 2).size(), 25u);
+  EXPECT_EQ(neighborhood_offsets(NeighborhoodShape::kVonNeumann, 2).size(),
+            13u);
+  EXPECT_EQ(neighborhood_offsets(NeighborhoodShape::kVonNeumann, 1).size(),
+            5u);
+}
+
+TEST(Shapes, ParamsReportShapeDependentSize) {
+  ModelParams moore{.n = 16, .w = 3, .tau = 0.4, .p = 0.5};
+  EXPECT_EQ(moore.neighborhood_size(), 49);
+  ModelParams diamond = moore;
+  diamond.shape = NeighborhoodShape::kVonNeumann;
+  EXPECT_EQ(diamond.neighborhood_size(), 25);  // 2*3*4 + 1
+}
+
+TEST(Shapes, StencilContainsOriginAndIsSymmetric) {
+  for (const auto shape :
+       {NeighborhoodShape::kMoore, NeighborhoodShape::kVonNeumann}) {
+    const auto offsets = neighborhood_offsets(shape, 3);
+    bool has_origin = false;
+    for (const Point o : offsets) {
+      if (o.x == 0 && o.y == 0) has_origin = true;
+      // Symmetric: the negated offset is present too.
+      bool has_mirror = false;
+      for (const Point m : offsets) {
+        if (m.x == -o.x && m.y == -o.y) {
+          has_mirror = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(has_mirror);
+    }
+    EXPECT_TRUE(has_origin);
+  }
+}
+
+TEST(Shapes, VonNeumannCountsMatchBruteForce) {
+  ModelParams p{.n = 16, .w = 3, .tau = 0.4, .p = 0.5};
+  p.shape = NeighborhoodShape::kVonNeumann;
+  Rng rng(1);
+  SchellingModel m(p, rng);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Shapes, VonNeumannFlipMaintainsInvariants) {
+  ModelParams p{.n = 16, .w = 2, .tau = 0.4, .p = 0.5};
+  p.shape = NeighborhoodShape::kVonNeumann;
+  Rng rng(2);
+  SchellingModel m(p, rng);
+  for (int t = 0; t < 40; ++t) {
+    m.flip(static_cast<std::uint32_t>(rng.uniform_below(m.agent_count())));
+  }
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Shapes, VonNeumannPlusCountExample) {
+  // Cross of +1 at the center of a -1 field: the center agent's von
+  // Neumann ball of radius 1 holds all 5 plus spins; the Moore ball of a
+  // diagonal neighbor holds 4 of them but its von Neumann ball only 2.
+  const int n = 12;
+  ModelParams p{.n = n, .w = 1, .tau = 0.4, .p = 0.5};
+  p.shape = NeighborhoodShape::kVonNeumann;
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n, -1);
+  spins[5 * n + 5] = 1;
+  spins[5 * n + 4] = 1;
+  spins[5 * n + 6] = 1;
+  spins[4 * n + 5] = 1;
+  spins[6 * n + 5] = 1;
+  SchellingModel m(p, spins);
+  EXPECT_EQ(m.plus_count(m.id_of(5, 5)), 5);
+  EXPECT_EQ(m.plus_count(m.id_of(4, 4)), 2);  // (4,5) and (5,4)
+}
+
+TEST(Shapes, VonNeumannDynamicsTerminatesHappy) {
+  ModelParams p{.n = 32, .w = 2, .tau = 0.45, .p = 0.5};
+  p.shape = NeighborhoodShape::kVonNeumann;
+  Rng init(3);
+  SchellingModel m(p, init);
+  Rng dyn(4);
+  const RunResult r = run_glauber(m, dyn);
+  EXPECT_TRUE(r.terminated);
+  EXPECT_EQ(m.count_unhappy(), 0u);  // tau < 1/2
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Shapes, BothShapesSegregateSimilarly) {
+  // Same tau, same seeds: both stencils drive the system to full
+  // happiness and materially fewer, larger clusters; the ablation bench
+  // quantifies the differences.
+  for (const auto shape :
+       {NeighborhoodShape::kMoore, NeighborhoodShape::kVonNeumann}) {
+    ModelParams p{.n = 32, .w = 2, .tau = 0.45, .p = 0.5};
+    p.shape = shape;
+    Rng init(5);
+    SchellingModel m(p, init);
+    Rng dyn(6);
+    run_glauber(m, dyn);
+    EXPECT_DOUBLE_EQ(m.happy_fraction(), 1.0);
+  }
+}
+
+TEST(Shapes, MooreFastPathMatchesGenericInit) {
+  // The Moore fast path (separable box sums) and the generic shifted-add
+  // path must agree; force the generic path by comparing plus counts with
+  // a hand-built Moore stencil via check_invariants on both.
+  ModelParams p{.n = 20, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng r1(7);
+  const auto spins = random_spins(p.n, p.p, r1);
+  SchellingModel moore(p, spins);
+  EXPECT_TRUE(moore.check_invariants());
+  // The von Neumann model on the same field uses the generic path; its
+  // invariant check exercises that code against brute force.
+  p.shape = NeighborhoodShape::kVonNeumann;
+  SchellingModel diamond(p, spins);
+  EXPECT_TRUE(diamond.check_invariants());
+}
+
+}  // namespace
+}  // namespace seg

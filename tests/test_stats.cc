@@ -1,0 +1,184 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace seg {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, MinMaxTracked) {
+  RunningStats s;
+  s.add(-1.0);
+  s.add(10.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  RunningStats a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    (i % 2 == 0 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  b.merge(a);  // copies
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(RunningStats, SemShrinksWithSamples) {
+  RunningStats s;
+  s.add(0.0);
+  s.add(1.0);
+  const double sem2 = s.sem();
+  for (int i = 0; i < 100; ++i) {
+    s.add(i % 2);
+  }
+  EXPECT_LT(s.sem(), sem2);
+  EXPECT_NEAR(s.ci95_half_width(), 1.96 * s.sem(), 1e-15);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, FractionIncludesOutliers) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+}
+
+TEST(LinearFitTest, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(2.5 * i - 7.0);
+  }
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, ConstantDataHasZeroSlope) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{5, 5, 5, 5};
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+  EXPECT_DOUBLE_EQ(fit.r2, 1.0);  // convention: flat data is a perfect fit
+}
+
+TEST(LinearFitTest, TooFewPointsReturnsDefault) {
+  const LinearFit fit = fit_line({1.0}, {2.0});
+  EXPECT_EQ(fit.n, 1u);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(LinearFitTest, DegenerateXReturnsDefault) {
+  const LinearFit fit = fit_line({3.0, 3.0, 3.0}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(MeanOfTest, Basic) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,180 @@
+#include "theory/constants.h"
+#include "theory/entropy.h"
+#include "theory/exponents.h"
+#include "theory/roots.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace seg {
+namespace {
+
+TEST(Entropy, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+}
+
+TEST(Entropy, MaximumAtHalf) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_LT(binary_entropy(0.3), 1.0);
+  EXPECT_LT(binary_entropy(0.7), 1.0);
+}
+
+TEST(Entropy, Symmetry) {
+  for (const double x : {0.1, 0.25, 0.42, 0.49}) {
+    EXPECT_NEAR(binary_entropy(x), binary_entropy(1.0 - x), 1e-14);
+  }
+}
+
+TEST(Entropy, KnownValue) {
+  // H(1/4) = 2 - (3/4) log2 3 ~ 0.811278.
+  EXPECT_NEAR(binary_entropy(0.25), 0.8112781244591328, 1e-12);
+}
+
+TEST(Entropy, DerivativeMatchesFiniteDifference) {
+  for (const double x : {0.2, 0.35, 0.5, 0.65}) {
+    const double h = 1e-6;
+    const double fd =
+        (binary_entropy(x + h) - binary_entropy(x - h)) / (2.0 * h);
+    EXPECT_NEAR(binary_entropy_derivative(x), fd, 1e-6);
+  }
+}
+
+TEST(Bisect, FindsSimpleRoot) {
+  const RootResult r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, ExactEndpointRoot) {
+  const RootResult r = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 0.0);
+}
+
+TEST(Bisect, DecreasingFunction) {
+  const RootResult r = bisect([](double x) { return 1.0 - x; }, 0.0, 3.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.0, 1e-10);
+}
+
+TEST(Constants, Tau1MatchesPaper) {
+  // Paper: tau_1 ~= 0.433.
+  EXPECT_NEAR(tau1(), 0.433, 5e-4);
+  // And it must solve eq. (1).
+  EXPECT_NEAR(tau1_equation(tau1()), 0.0, 1e-10);
+}
+
+TEST(Constants, Tau2IsElevenThirtySeconds) {
+  EXPECT_DOUBLE_EQ(tau2(), 0.34375);
+  EXPECT_NEAR(tau2_equation(tau2()), 0.0, 1e-9);
+}
+
+TEST(Constants, Tau2OtherRootIsRejected) {
+  // The quadratic's other root 1/32 also solves eq. (3) but is not the
+  // segregation threshold.
+  EXPECT_NEAR(tau2_equation(1.0 / 32.0), 0.0, 1e-9);
+  EXPECT_GT(tau2(), 1.0 / 32.0);
+}
+
+TEST(Constants, IntervalWidthsMatchAbstract) {
+  // ~0.134 for monochromatic, ~0.312 for almost monochromatic.
+  EXPECT_NEAR(mono_interval_width(), 0.134, 2e-3);
+  EXPECT_NEAR(full_interval_width(), 0.3125, 1e-9);
+}
+
+TEST(Constants, OrderingTau2LessThanTau1LessThanHalf) {
+  EXPECT_LT(tau2(), tau1());
+  EXPECT_LT(tau1(), 0.5);
+}
+
+TEST(FTau, VanishesAtHalf) {
+  // As tau -> 1/2 the discriminant and the linear term vanish.
+  EXPECT_NEAR(f_tau(0.4999), 0.0, 2e-2);
+}
+
+TEST(FTau, PositiveAndBelowHalfOnInterval) {
+  for (double tau = 0.345; tau < 0.499; tau += 0.01) {
+    const double f = f_tau(tau);
+    EXPECT_GT(f, 0.0) << tau;
+    EXPECT_LT(f, 0.5) << tau;  // paper: f(tau) < 1/2 on (tau_2, 1/2)
+  }
+}
+
+TEST(FTau, DecreasingInTau) {
+  // More tolerant agents need a larger trigger region (Fig. 6).
+  double prev = f_tau(0.35);
+  for (double tau = 0.36; tau < 0.5; tau += 0.01) {
+    const double cur = f_tau(tau);
+    EXPECT_LT(cur, prev) << tau;
+    prev = cur;
+  }
+}
+
+TEST(FTau, SymmetricAboutHalf) {
+  EXPECT_NEAR(f_tau(0.45), f_tau(0.55), 1e-12);
+  EXPECT_NEAR(f_tau(0.36), f_tau(0.64), 1e-12);
+}
+
+TEST(Exponents, TauPrimeApproachesTau) {
+  EXPECT_NEAR(tau_prime(0.45, 100000), 0.45, 1e-4);
+  EXPECT_LT(tau_prime(0.45, 25), 0.45);
+}
+
+TEST(Exponents, TauHatDeflatesTau) {
+  // tau^ = tau - N^{-(1/2-eps)}: at N = 441, eps = 0.25 the deflation is
+  // 441^{-1/4} ~ 0.218.
+  const double th = tau_hat(0.45, 441, 0.25);
+  EXPECT_LT(th, 0.45);
+  EXPECT_NEAR(th, 0.45 - std::pow(441.0, -0.25), 1e-12);
+  // A milder eps deflates less.
+  EXPECT_GT(tau_hat(0.45, 441, 0.05), th);
+}
+
+TEST(Exponents, LowerBelowUpper) {
+  for (double tau = 0.35; tau < 0.499; tau += 0.01) {
+    EXPECT_LT(a_exponent_envelope(tau), b_exponent_envelope(tau)) << tau;
+  }
+}
+
+TEST(Exponents, PositiveOnInterval) {
+  for (double tau = 0.345; tau < 0.499; tau += 0.01) {
+    EXPECT_GT(a_exponent_envelope(tau), 0.0) << tau;
+    EXPECT_GT(b_exponent_envelope(tau), 0.0) << tau;
+  }
+}
+
+TEST(Exponents, DecreasingTowardHalf) {
+  // Fig. 3 / Theorem statement: a and b decrease as tau -> 1/2 from below
+  // (farther from one half means larger regions).
+  double prev_a = a_exponent_envelope(0.36);
+  double prev_b = b_exponent_envelope(0.36);
+  for (double tau = 0.37; tau < 0.5; tau += 0.01) {
+    const double a = a_exponent_envelope(tau);
+    const double b = b_exponent_envelope(tau);
+    EXPECT_LT(a, prev_a) << tau;
+    EXPECT_LT(b, prev_b) << tau;
+    prev_a = a;
+    prev_b = b;
+  }
+}
+
+TEST(Exponents, SymmetricAboutHalf) {
+  EXPECT_NEAR(a_exponent_envelope(0.45), a_exponent_envelope(0.55), 1e-12);
+  EXPECT_NEAR(b_exponent_envelope(0.44), b_exponent_envelope(0.56), 1e-12);
+}
+
+TEST(Exponents, VanishAtHalf) {
+  EXPECT_NEAR(a_exponent_envelope(0.4999), 0.0, 1e-3);
+  EXPECT_NEAR(b_exponent_envelope(0.4999), 0.0, 1e-3);
+}
+
+TEST(Exponents, ExplicitEpsilonMonotonicity) {
+  // Larger eps' shrinks the lower bound and grows the upper bound.
+  EXPECT_GT(a_exponent(0.45, 0.1), a_exponent(0.45, 0.3));
+  EXPECT_LT(b_exponent(0.45, 0.1), b_exponent(0.45, 0.3));
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,77 @@
+// Tests for the time-series trace recorder.
+#include <gtest/gtest.h>
+
+#include "analysis/trace.h"
+
+namespace seg {
+namespace {
+
+TEST(Trace, RecordsSamplesThroughDynamics) {
+  ModelParams p{.n = 24, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng init(1);
+  SchellingModel m(p, init);
+  TraceRecorder trace;
+  RunOptions opt;
+  opt.snapshot_every = 50;
+  opt.on_snapshot = trace.callback();
+  Rng dyn(2);
+  const RunResult r = run_glauber(m, dyn, opt);
+  ASSERT_FALSE(trace.empty());
+  // Final snapshot always fires, so the last row matches the run result.
+  EXPECT_EQ(trace.back().flips, r.flips);
+  EXPECT_DOUBLE_EQ(trace.back().happy_fraction, 1.0);
+}
+
+TEST(Trace, RowsAreMonotoneInTimeAndFlips) {
+  ModelParams p{.n = 24, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng init(3);
+  SchellingModel m(p, init);
+  TraceRecorder trace;
+  RunOptions opt;
+  opt.snapshot_every = 25;
+  opt.on_snapshot = trace.callback();
+  Rng dyn(4);
+  run_glauber(m, dyn, opt);
+  for (std::size_t i = 1; i < trace.rows().size(); ++i) {
+    EXPECT_GE(trace.rows()[i].flips, trace.rows()[i - 1].flips);
+    EXPECT_GE(trace.rows()[i].time, trace.rows()[i - 1].time);
+  }
+}
+
+TEST(Trace, InterfaceShrinksAlongTheRun) {
+  ModelParams p{.n = 32, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng init(5);
+  SchellingModel m(p, init);
+  TraceRecorder trace(/*record_interface=*/true);
+  trace.sample(m, 0, 0.0);
+  Rng dyn(6);
+  run_glauber(m, dyn);
+  trace.sample(m, 1, 1.0);
+  ASSERT_EQ(trace.rows().size(), 2u);
+  EXPECT_LT(trace.rows()[1].interface_length,
+            trace.rows()[0].interface_length);
+}
+
+TEST(Trace, InterfaceRecordingOptional) {
+  ModelParams p{.n = 16, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng init(7);
+  SchellingModel m(p, init);
+  TraceRecorder trace(/*record_interface=*/false);
+  trace.sample(m, 0, 0.0);
+  EXPECT_EQ(trace.rows()[0].interface_length, 0);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  ModelParams p{.n = 16, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng init(8);
+  SchellingModel m(p, init);
+  TraceRecorder trace;
+  trace.sample(m, 0, 0.0);
+  trace.sample(m, 10, 1.5);
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("flips,time,happy_fraction"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace seg

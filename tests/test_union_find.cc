@@ -1,0 +1,59 @@
+#include "grid/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace seg {
+namespace {
+
+TEST(UnionFind, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.components(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.component_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesComponents) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_EQ(uf.components(), 3u);
+  EXPECT_EQ(uf.component_size(0), 2u);
+}
+
+TEST(UnionFind, UniteIsIdempotent) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.components(), 2u);
+}
+
+TEST(UnionFind, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same(0, 3));
+  EXPECT_EQ(uf.component_size(3), 4u);
+  EXPECT_FALSE(uf.same(0, 5));
+}
+
+TEST(UnionFind, ChainCollapsesToOneComponent) {
+  const std::size_t n = 100;
+  UnionFind uf(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.components(), 1u);
+  EXPECT_EQ(uf.component_size(42), n);
+  EXPECT_TRUE(uf.same(0, n - 1));
+}
+
+TEST(UnionFind, ElementCount) {
+  UnionFind uf(7);
+  EXPECT_EQ(uf.element_count(), 7u);
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,167 @@
+// Tests for the classic vacancy-based Schelling model (the mechanism the
+// paper's introduction describes).
+#include <gtest/gtest.h>
+
+#include "core/vacancy.h"
+
+namespace seg {
+namespace {
+
+VacancyParams small_params() {
+  return VacancyParams{.n = 24, .w = 2, .tau = 0.45, .vacancy = 0.15,
+                       .p = 0.5, .relocation_attempts = 32};
+}
+
+TEST(Vacancy, RandomSitesRespectDensities) {
+  VacancyParams p{.n = 96, .w = 2, .tau = 0.45, .vacancy = 0.2, .p = 0.7,
+                  .relocation_attempts = 8};
+  Rng rng(1);
+  const auto sites = random_sites(p, rng);
+  std::size_t vacant = 0, plus = 0, occupied = 0;
+  for (const auto s : sites) {
+    vacant += s == 0;
+    plus += s > 0;
+    occupied += s != 0;
+  }
+  EXPECT_NEAR(static_cast<double>(vacant) / sites.size(), 0.2, 0.03);
+  EXPECT_NEAR(static_cast<double>(plus) / occupied, 0.7, 0.03);
+}
+
+TEST(Vacancy, CountsMatchBruteForce) {
+  Rng rng(2);
+  VacancyModel m(small_params(), rng);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Vacancy, IsolatedAgentIsHappy) {
+  // One agent, everything else vacant.
+  VacancyParams p = small_params();
+  std::vector<std::int8_t> sites(24 * 24, 0);
+  sites[12 * 24 + 12] = 1;
+  VacancyModel m(p, sites);
+  EXPECT_TRUE(m.is_happy(m.id_of(12, 12)));
+  EXPECT_EQ(m.count_unhappy(), 0u);
+  EXPECT_EQ(m.agent_total(), 1u);
+}
+
+TEST(Vacancy, MinorityAgentIsUnhappy) {
+  // A -1 surrounded by +1: same-type fraction 0 < tau.
+  VacancyParams p = small_params();
+  std::vector<std::int8_t> sites(24 * 24, 1);
+  sites[0] = 0;  // keep one vacancy so params stay meaningful
+  sites[12 * 24 + 12] = -1;
+  VacancyModel m(p, sites);
+  EXPECT_FALSE(m.is_happy(m.id_of(12, 12)));
+  EXPECT_EQ(m.count_unhappy(), 1u);
+}
+
+TEST(Vacancy, WouldBeHappyEvaluatesDestination) {
+  // Vacant site deep inside a +1 district welcomes +1 and repels -1.
+  VacancyParams p = small_params();
+  std::vector<std::int8_t> sites(24 * 24, 1);
+  sites[12 * 24 + 12] = 0;
+  sites[0] = -1;
+  VacancyModel m(p, sites);
+  const std::uint32_t hole = m.id_of(12, 12);
+  EXPECT_TRUE(m.would_be_happy(+1, hole));
+  EXPECT_FALSE(m.would_be_happy(-1, hole));
+}
+
+TEST(Vacancy, MoveTransfersAgentAndPreservesInvariants) {
+  Rng rng(3);
+  VacancyModel m(small_params(), rng);
+  ASSERT_GT(m.vacancy_total(), 0u);
+  // Find any agent and any hole.
+  std::uint32_t agent = 0;
+  while (!m.occupied(agent)) ++agent;
+  const std::uint32_t hole = m.vacant_set().at(0);
+  const std::int8_t type = m.site(agent);
+  const std::size_t agents_before = m.agent_total();
+  m.move(agent, hole);
+  EXPECT_EQ(m.site(agent), 0);
+  EXPECT_EQ(m.site(hole), type);
+  EXPECT_EQ(m.agent_total(), agents_before);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Vacancy, MoveIsReversible) {
+  Rng rng(4);
+  VacancyModel m(small_params(), rng);
+  std::uint32_t agent = 0;
+  while (!m.occupied(agent)) ++agent;
+  const std::uint32_t hole = m.vacant_set().at(0);
+  const auto before = m.sites();
+  m.move(agent, hole);
+  m.move(hole, agent);
+  EXPECT_EQ(m.sites(), before);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Vacancy, RunIncreasesHappiness) {
+  Rng init(5);
+  VacancyModel m(small_params(), init);
+  const double before = m.happy_fraction();
+  Rng dyn(6);
+  VacancyRunOptions opt;
+  opt.max_moves = 20000;
+  const VacancyRunResult r = run_vacancy(m, dyn, opt);
+  EXPECT_GT(r.moves, 0u);
+  EXPECT_GE(m.happy_fraction(), before);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Vacancy, RunRaisesSimilarityIndex) {
+  // Schelling's headline: relocation dynamics drive the mean same-type
+  // fraction well above its ~1/2 starting point.
+  Rng init(7);
+  VacancyParams p{.n = 48, .w = 2, .tau = 0.5, .vacancy = 0.15, .p = 0.5,
+                  .relocation_attempts = 32};
+  VacancyModel m(p, init);
+  const double before = m.similarity_index();
+  Rng dyn(8);
+  VacancyRunOptions opt;
+  opt.max_moves = 100000;
+  run_vacancy(m, dyn, opt);
+  EXPECT_GT(m.similarity_index(), before + 0.1);
+}
+
+TEST(Vacancy, TypeCountsConserved) {
+  Rng init(9);
+  VacancyModel m(small_params(), init);
+  const auto tally = [&] {
+    std::pair<std::size_t, std::size_t> counts{0, 0};
+    for (std::uint32_t id = 0; id < m.site_count(); ++id) {
+      if (m.site(id) > 0) ++counts.first;
+      if (m.site(id) < 0) ++counts.second;
+    }
+    return counts;
+  };
+  const auto before = tally();
+  Rng dyn(10);
+  VacancyRunOptions opt;
+  opt.max_moves = 5000;
+  run_vacancy(m, dyn, opt);
+  EXPECT_EQ(tally(), before);
+}
+
+TEST(Vacancy, AbsorbingStateDetectedOnHappyConfiguration) {
+  // Two separated districts and a vacancy strip: everyone happy.
+  const int n = 24;
+  VacancyParams p = small_params();
+  std::vector<std::int8_t> sites(static_cast<std::size_t>(n) * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      sites[y * n + x] = x < 10 ? 1 : (x < 14 ? 0 : -1);
+    }
+  }
+  VacancyModel m(p, sites);
+  EXPECT_EQ(m.count_unhappy(), 0u);
+  EXPECT_TRUE(m.absorbing_state());
+  Rng dyn(11);
+  const VacancyRunResult r = run_vacancy(m, dyn);
+  EXPECT_TRUE(r.terminated);
+  EXPECT_EQ(r.moves, 0u);
+}
+
+}  // namespace
+}  // namespace seg
