@@ -9,13 +9,17 @@
 // P(radius >= k) at sub-critical p and fit the exponential decay rate
 // psi(p); the fit should be near-linear in k on a log scale and steeper
 // for smaller p.
+//
+// Both sweeps are built-in campaigns (`percolation_stretch` and
+// `percolation_radius`) run through the campaign engine with custom
+// replica functions over percolation/; each replica draws its own field
+// from its derived stream, so the sweep parallelizes deterministically.
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
+#include "campaign/builtin.h"
 #include "io/table.h"
-#include "percolation/chemical.h"
-#include "percolation/clusters.h"
 #include "percolation/field.h"
 #include "util/args.h"
 #include "util/stats.h"
@@ -23,34 +27,37 @@
 int main(int argc, char** argv) {
   const seg::ArgParser args(argc, argv);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 31));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
 
   std::printf("== Theorem 4 (chemical distance, supercritical) ==\n");
   const int L = static_cast<int>(args.get_int("L", 192));
   const auto pair_trials =
       static_cast<std::size_t>(args.get_int("pairs", 24));
+
+  seg::BuiltinCampaign stretch;
+  seg::make_builtin_campaign("percolation_stretch",
+                             {.n = L, .replicas = pair_trials}, &stretch);
+  seg::CampaignOptions options;
+  options.threads = threads;
+  const seg::CampaignResult stretch_result =
+      seg::run_campaign(stretch.spec, stretch.points, stretch.metric_names,
+                        stretch.replica, seed, options);
+
   seg::TablePrinter t4({"p", "connected", "mean stretch",
                         "P(stretch >= 1.25)"});
-  for (const double p : {0.65, 0.70, 0.75, 0.85, 0.95}) {
-    seg::RunningStats stretch;
-    std::size_t connected = 0, tail = 0;
-    seg::Rng rng = seg::Rng::stream(seed, static_cast<std::uint64_t>(p * 100));
-    for (std::size_t t = 0; t < pair_trials; ++t) {
-      const seg::SiteField field(L, p, rng);
-      const auto s =
-          seg::chemical_stretch(field, L / 8, L / 2, 7 * L / 8, L / 2);
-      if (!s.connected) continue;
-      ++connected;
-      stretch.add(s.stretch);
-      tail += s.stretch >= 1.25;
-    }
+  for (std::size_t pi = 0; pi < stretch.spec.p.size(); ++pi) {
+    // The indicator sums come back as mean * count, which is inexact;
+    // round back to the true integer count.
+    const auto connected = static_cast<double>(
+        std::llround(stretch_result.stats_for(pi, "connected")->sum()));
+    const double stretch_sum =
+        stretch_result.stats_for(pi, "stretch")->sum();
+    const double tail_sum = stretch_result.stats_for(pi, "tail_125")->sum();
     t4.new_row()
-        .add(p, 2)
+        .add(stretch.spec.p[pi], 2)
         .add(static_cast<std::int64_t>(connected))
-        .add(connected ? stretch.mean() : 0.0, 4)
-        .add(connected ? static_cast<double>(tail) /
-                             static_cast<double>(connected)
-                       : 0.0,
-             3);
+        .add(connected > 0 ? stretch_sum / connected : 0.0, 4)
+        .add(connected > 0 ? tail_sum / connected : 0.0, 3);
   }
   t4.print();
   std::printf("expected shape: stretch decreasing toward 1 and the 1.25-"
@@ -60,28 +67,26 @@ int main(int argc, char** argv) {
   const int Lsub = static_cast<int>(args.get_int("Lsub", 61));
   const auto radius_trials =
       static_cast<std::size_t>(args.get_int("radius_trials", 400));
+
+  seg::BuiltinCampaign radius;
+  seg::make_builtin_campaign("percolation_radius",
+                             {.n = Lsub, .replicas = radius_trials},
+                             &radius);
+  const seg::CampaignResult radius_result =
+      seg::run_campaign(radius.spec, radius.points, radius.metric_names,
+                        radius.replica, seed + 7, options);
+
   seg::TablePrinter t5({"p", "P(r>=2)", "P(r>=4)", "P(r>=8)", "P(r>=16)",
                         "decay rate psi"});
-  for (const double p : {0.30, 0.40, 0.50}) {
-    std::vector<int> ks{2, 4, 8, 16};
-    std::vector<std::size_t> hits(ks.size(), 0);
-    std::size_t open_draws = 0;
-    seg::Rng rng =
-        seg::Rng::stream(seed + 7, static_cast<std::uint64_t>(p * 100));
-    for (std::size_t t = 0; t < radius_trials; ++t) {
-      const seg::SiteField field(Lsub, p, rng);
-      const int r = seg::cluster_l1_radius(field, Lsub / 2, Lsub / 2);
-      if (r < 0) continue;  // center closed: not a cluster sample
-      ++open_draws;
-      for (std::size_t i = 0; i < ks.size(); ++i) hits[i] += r >= ks[i];
-    }
-    t5.new_row().add(p, 2);
+  const std::vector<int> ks{2, 4, 8, 16};
+  for (std::size_t pi = 0; pi < radius.spec.p.size(); ++pi) {
+    const double open_draws = radius_result.stats_for(pi, "open")->sum();
+    t5.new_row().add(radius.spec.p[pi], 2);
     std::vector<double> xs, logs;
     for (std::size_t i = 0; i < ks.size(); ++i) {
-      const double frac = open_draws
-                              ? static_cast<double>(hits[i]) /
-                                    static_cast<double>(open_draws)
-                              : 0.0;
+      const std::string metric = "r_ge_" + std::to_string(ks[i]);
+      const double hits = radius_result.stats_for(pi, metric)->sum();
+      const double frac = open_draws > 0 ? hits / open_draws : 0.0;
       t5.add(frac, 4);
       if (frac > 0) {
         xs.push_back(ks[i]);

@@ -4,17 +4,18 @@
 // we run the process and record the mean monochromatic region and whether
 // the grid fixated on one type. Prints a console map and writes the full
 // grid as CSV.
+//
+// A thin scenario definition over the campaign engine: the sweep itself is
+// the built-in `phase_diagram` campaign (src/campaign/builtin.h), shared
+// with examples/campaign_runner, so aggregates are bitwise identical at
+// any --threads and across checkpoint/resume.
 #include <cstdio>
 #include <string>
 
-#include "analysis/clusters.h"
-#include "analysis/regions.h"
-#include "core/dynamics.h"
-#include "core/model.h"
-#include "io/csv.h"
+#include "campaign/builtin.h"
+#include "campaign/sinks.h"
 #include "io/table.h"
 #include "util/args.h"
-#include "util/stats.h"
 
 int main(int argc, char** argv) {
   const seg::ArgParser args(argc, argv);
@@ -22,10 +23,12 @@ int main(int argc, char** argv) {
   const int w = static_cast<int>(args.get_int("w", 2));
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 3));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 37));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
   const std::string out = args.get_string("out", "phase_diagram.csv");
 
-  const double taus[] = {0.30, 0.36, 0.40, 0.44, 0.48, 0.50};
-  const double ps[] = {0.50, 0.55, 0.60, 0.70, 0.80, 0.90};
+  seg::BuiltinCampaign campaign;
+  seg::make_builtin_campaign(
+      "phase_diagram", {.n = n, .w = w, .replicas = trials}, &campaign);
 
   std::printf("== (tau, p) phase portrait (n=%d, w=%d, %zu trials/cell) "
               "==\n\n",
@@ -33,42 +36,39 @@ int main(int argc, char** argv) {
   std::printf("cell symbol: '.' static-ish, 'o' segregated regions, "
               "'#' majority fixation (complete segregation)\n\n");
 
-  seg::CsvWriter csv({"tau", "p", "mean_EM", "fixation_fraction",
-                      "mean_majority", "mean_flips"});
-  seg::TablePrinter map({"tau \\ p", "0.50", "0.55", "0.60", "0.70",
-                         "0.80", "0.90"});
-  for (const double tau : taus) {
+  seg::CampaignOptions options;
+  options.threads = threads;
+  options.checkpoint_path = args.get_string("checkpoint", "");
+  options.resume = args.get_bool("resume", false);
+  const seg::CampaignResult result = seg::run_campaign(
+      campaign.spec, campaign.points, campaign.metric_names,
+      campaign.replica, seed, options);
+
+  // Console map: points expand with tau outermost, p innermost.
+  const std::vector<double>& taus = campaign.spec.tau;
+  const std::vector<double>& ps = campaign.spec.p;
+  std::vector<std::string> header = {"tau \\ p"};
+  for (const double p : ps) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.2f", p);
+    header.emplace_back(buf);
+  }
+  seg::TablePrinter map(header);
+  for (std::size_t ti = 0; ti < taus.size(); ++ti) {
     map.new_row();
     char label[16];
-    std::snprintf(label, sizeof(label), "%.2f", tau);
+    std::snprintf(label, sizeof(label), "%.2f", taus[ti]);
     map.add(label);
-    for (const double p : ps) {
-      seg::RunningStats em, fixation, majority, flips;
-      for (std::size_t t = 0; t < trials; ++t) {
-        seg::ModelParams params{.n = n, .w = w, .tau = tau, .p = p};
-        seg::Rng init = seg::Rng::stream(seed + t, 0);
-        seg::SchellingModel m(params, init);
-        seg::Rng dyn = seg::Rng::stream(seed + t, 1);
-        flips.add(static_cast<double>(seg::run_glauber(m, dyn).flips));
-        fixation.add(seg::completely_segregated(m.spins()) ? 1.0 : 0.0);
-        majority.add(seg::majority_fraction(m.spins()));
-        const auto field = seg::mono_region_field(m);
-        seg::Rng smp = seg::Rng::stream(seed + t, 2);
-        em.add(seg::mean_mono_region_size(field, 16, smp));
-      }
-      csv.new_row()
-          .add(tau)
-          .add(p)
-          .add(em.mean())
-          .add(fixation.mean())
-          .add(majority.mean())
-          .add(flips.mean());
+    for (std::size_t pi = 0; pi < ps.size(); ++pi) {
+      const std::size_t point = ti * ps.size() + pi;
+      const double em = result.stats_for(point, "mean_mono_region")->mean();
+      const double fixation = result.stats_for(point, "fixation")->mean();
       const double cells = static_cast<double>(n) * n;
-      const char* symbol = fixation.mean() >= 0.5       ? "#"
-                           : em.mean() >= 0.02 * cells  ? "o"
-                                                        : ".";
+      const char* symbol = fixation >= 0.5        ? "#"
+                           : em >= 0.02 * cells   ? "o"
+                                                  : ".";
       char cell[24];
-      std::snprintf(cell, sizeof(cell), "%s %6.0f", symbol, em.mean());
+      std::snprintf(cell, sizeof(cell), "%s %6.0f", symbol, em);
       map.add(cell);
     }
   }
@@ -76,7 +76,10 @@ int main(int argc, char** argv) {
   std::printf("\nexpected: fixation ('#') occupies the high-p column well "
               "before p = 1 (Fontes et al.), while the p = 1/2 column "
               "segregates without fixating (the paper's corollary).\n");
-  if (csv.write_file(out)) std::printf("full grid written to %s\n",
-                                       out.c_str());
+
+  seg::CsvSink csv(out);
+  if (csv.write(campaign.spec, result)) {
+    std::printf("full grid written to %s\n", out.c_str());
+  }
   return 0;
 }

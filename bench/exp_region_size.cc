@@ -2,21 +2,21 @@
 // monochromatic region containing an arbitrary agent grows exponentially
 // in the neighborhood size N.
 //
-// For each tau we sweep w (hence N = (2w+1)^2), run the Glauber process to
-// absorption on a torus large relative to w, estimate E[M] (and E[M'] with
-// ratio threshold e^{-0.1 N}), and fit log2 E[M] against N. The paper's
-// claim fixes the *shape*: the fit should be close to linear (r^2 high)
-// with a positive slope; the theorems bracket the asymptotic slope in
-// [a(tau), b(tau)] — we print both for comparison (absolute agreement is
-// not expected at these finite sizes).
+// The sweep is the built-in `region_size` campaign (tau x w grid with the
+// torus side tied to the horizon, n = max(64, 24w)), run through the
+// campaign engine; this driver only renders the per-tau tables and the
+// log2 E[M] versus N exponential-growth fits. The paper's claim fixes the
+// *shape*: the fit should be close to linear (r^2 high) with a positive
+// slope; the theorems bracket the asymptotic slope in [a(tau), b(tau)] —
+// we print both for comparison (absolute agreement is not expected at
+// these finite sizes).
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "analysis/almost.h"
-#include "analysis/regions.h"
-#include "core/dynamics.h"
-#include "core/model.h"
+#include "campaign/builtin.h"
+#include "campaign/sinks.h"
 #include "io/table.h"
 #include "theory/constants.h"
 #include "theory/exponents.h"
@@ -25,40 +25,11 @@
 
 namespace {
 
-struct Row {
-  int w = 0;
-  int N = 0;
-  double mean_m = 0.0;
-  double mean_m_prime = 0.0;
-};
-
-Row measure(double tau, int w, std::size_t trials, std::uint64_t seed) {
-  Row row;
-  row.w = w;
-  row.N = (2 * w + 1) * (2 * w + 1);
-  const int n = std::max(64, 24 * w);
-  seg::RunningStats m_stats, mp_stats;
-  for (std::size_t t = 0; t < trials; ++t) {
-    seg::ModelParams params{.n = n, .w = w, .tau = tau, .p = 0.5};
-    seg::Rng init = seg::Rng::stream(seed + t, 0);
-    seg::SchellingModel model(params, init);
-    seg::Rng dyn = seg::Rng::stream(seed + t, 1);
-    seg::run_glauber(model, dyn);
-
-    const auto mono = seg::mono_region_field(model);
-    seg::Rng s1 = seg::Rng::stream(seed + t, 2);
-    m_stats.add(seg::mean_mono_region_size(mono, 24, s1));
-
-    const auto almost = seg::almost_mono_field(model, 0.1);
-    seg::Rng s2 = seg::Rng::stream(seed + t, 2);
-    mp_stats.add(seg::mean_almost_region_size(almost, 24, s2));
-  }
-  row.mean_m = m_stats.mean();
-  row.mean_m_prime = mp_stats.mean();
-  return row;
-}
-
-void run_tau(double tau, std::size_t trials, std::uint64_t seed) {
+void report_tau(const seg::BuiltinCampaign& campaign,
+                const seg::CampaignResult& result, std::size_t tau_index) {
+  const double tau = campaign.spec.tau[tau_index];
+  const std::size_t tau_count = campaign.spec.tau.size();
+  const std::size_t w_count = campaign.spec.w.size();
   const bool mono_regime = tau > seg::tau1() && tau < 1.0 - seg::tau1();
   std::printf("\n-- tau = %.3f (%s regime) --\n", tau,
               mono_regime ? "monochromatic, Thm 1"
@@ -66,18 +37,26 @@ void run_tau(double tau, std::size_t trials, std::uint64_t seed) {
   seg::TablePrinter table(
       {"w", "N", "E[M]", "log2 E[M]", "E[M']", "log2 E[M']"});
   std::vector<double> ns, log_m, log_mp;
-  for (const int w : {1, 2, 3, 4, 5}) {
-    const Row row = measure(tau, w, trials, seed + 100 * w);
+  for (std::size_t wi = 0; wi < w_count; ++wi) {
+    // Grid order: w is an outer axis relative to tau (expand_grid nests
+    // n, w, tau, ...), so each w block holds tau_count points.
+    const std::size_t point = wi * tau_count + tau_index;
+    const int w = campaign.spec.w[wi];
+    const int N = (2 * w + 1) * (2 * w + 1);
+    const double mean_m =
+        result.stats_for(point, "mean_mono_region")->mean();
+    const double mean_mp =
+        result.stats_for(point, "mean_almost_region")->mean();
     table.new_row()
-        .add(static_cast<std::int64_t>(row.w))
-        .add(static_cast<std::int64_t>(row.N))
-        .add(row.mean_m, 1)
-        .add(std::log2(row.mean_m), 3)
-        .add(row.mean_m_prime, 1)
-        .add(std::log2(row.mean_m_prime), 3);
-    ns.push_back(row.N);
-    log_m.push_back(std::log2(row.mean_m));
-    log_mp.push_back(std::log2(row.mean_m_prime));
+        .add(static_cast<std::int64_t>(w))
+        .add(static_cast<std::int64_t>(N))
+        .add(mean_m, 1)
+        .add(std::log2(mean_m), 3)
+        .add(mean_mp, 1)
+        .add(std::log2(mean_mp), 3);
+    ns.push_back(N);
+    log_m.push_back(std::log2(mean_m));
+    log_mp.push_back(std::log2(mean_mp));
   }
   table.print();
 
@@ -103,14 +82,33 @@ int main(int argc, char** argv) {
   const seg::ArgParser args(argc, argv);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 3));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  const std::string out = args.get_string("out", "");
+
+  seg::BuiltinCampaign campaign;
+  seg::make_builtin_campaign("region_size", {.replicas = trials}, &campaign);
 
   std::printf("== Theorems 1 & 2: E[M], E[M'] exponential in N ==\n");
   std::printf("(grid side n = max(64, 24w); %zu trials per point; E over "
-              "24 sampled agents per trial)\n",
-              trials);
+              "%zu sampled agents per trial)\n",
+              trials, campaign.spec.region_samples);
 
-  run_tau(0.45, trials, seed);        // Thm 1 interval (tau_1, 1/2)
-  run_tau(0.40, trials, seed + 50);   // Thm 2 interval (tau_2, tau_1]
-  run_tau(0.55, trials, seed + 90);   // symmetric Thm 1 interval
+  seg::CampaignOptions options;
+  options.threads = threads;
+  options.checkpoint_path = args.get_string("checkpoint", "");
+  options.resume = args.get_bool("resume", false);
+  const seg::CampaignResult result = seg::run_campaign(
+      campaign.spec, campaign.points, campaign.metric_names,
+      campaign.replica, seed, options);
+
+  for (std::size_t ti = 0; ti < campaign.spec.tau.size(); ++ti) {
+    report_tau(campaign, result, ti);
+  }
+  if (!out.empty()) {
+    seg::CsvSink csv(out);
+    if (csv.write(campaign.spec, result)) {
+      std::printf("\nfull grid written to %s\n", out.c_str());
+    }
+  }
   return 0;
 }

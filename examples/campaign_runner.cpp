@@ -1,0 +1,175 @@
+// campaign_runner: run a scenario campaign from the command line.
+//
+//   ./campaign_runner --scenario phase_diagram --seed 37 --threads 8
+//   ./campaign_runner --spec my_sweep.scenario --out sweep.csv
+//   ./campaign_runner --list
+//
+// Scenarios come from two places: the built-in campaigns (shared with the
+// bench drivers, see src/campaign/builtin.h) selected with --scenario, or
+// a declarative key=value spec file (format documented in the README)
+// loaded with --spec and run with the built-in Schelling replica.
+//
+// Determinism: for a fixed --seed the aggregated output (CSV included) is
+// bitwise identical at any --threads, and identical across an interrupted
+// run resumed with --checkpoint/--resume.
+//
+// Flags:
+//   --scenario NAME    built-in campaign (see --list)
+//   --spec FILE        scenario spec file (overrides --scenario)
+//   --seed S           campaign seed (default 37)
+//   --threads T        worker threads (default 1, 0 = hardware)
+//   --replicas R       override replica count
+//   --n N  --w W       override built-in grid side / horizon (where used)
+//   --out FILE         aggregated CSV (default <name>.csv)
+//   --manifest FILE    run manifest (default <name>.manifest)
+//   --checkpoint FILE  checkpoint path (enables periodic checkpointing)
+//   --checkpoint-every K   replicas between checkpoint writes (default 64)
+//   --resume           load the checkpoint before running
+//   --stop-after K     stop scheduling after K replicas (for smoke tests)
+//   --quiet            skip the console table
+//   --list             list built-in scenarios and registry metrics
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/builtin.h"
+#include "campaign/metrics.h"
+#include "campaign/sinks.h"
+#include "util/args.h"
+
+namespace {
+
+// Non-negative CLI integer; exits with a usage error on negative values
+// (a bare size_t cast would wrap -1 to ~2^64).
+bool get_size(const seg::ArgParser& args, const std::string& key,
+              std::size_t def, std::size_t* out) {
+  const std::int64_t v = args.get_int(key, static_cast<std::int64_t>(def));
+  if (v < 0) {
+    std::fprintf(stderr, "--%s must be >= 0 (got %lld)\n", key.c_str(),
+                 static_cast<long long>(v));
+    return false;
+  }
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+int list_scenarios() {
+  std::printf("built-in scenarios:\n");
+  for (const std::string& name : seg::builtin_campaign_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("\nregistry metrics (for spec files):\n");
+  for (const std::string& name : seg::known_metrics()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const seg::ArgParser args(argc, argv);
+  if (args.get_bool("list", false)) return list_scenarios();
+
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 37));
+  const std::string spec_path = args.get_string("spec", "");
+  const std::string scenario = args.get_string("scenario", "phase_diagram");
+
+  std::size_t threads = 1, replicas_override = 0, stop_after = 0,
+              checkpoint_every = 64, n_override = 0, w_override = 0;
+  if (!get_size(args, "threads", 1, &threads) ||
+      !get_size(args, "replicas", 0, &replicas_override) ||
+      !get_size(args, "stop-after", 0, &stop_after) ||
+      !get_size(args, "checkpoint-every", 64, &checkpoint_every) ||
+      !get_size(args, "n", 0, &n_override) ||
+      !get_size(args, "w", 0, &w_override)) {
+    return 1;
+  }
+
+  seg::BuiltinCampaign campaign;
+  if (!spec_path.empty()) {
+    std::ifstream in(spec_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read spec file %s\n", spec_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    if (!seg::ScenarioSpec::parse(text.str(), &campaign.spec, &error)) {
+      std::fprintf(stderr, "bad spec %s: %s\n", spec_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    if (replicas_override > 0) campaign.spec.replicas = replicas_override;
+    campaign.points = seg::expand_grid(campaign.spec);
+    campaign.metric_names = campaign.spec.metrics;
+    campaign.replica = seg::make_schelling_replica(campaign.spec);
+  } else {
+    const seg::BuiltinOverrides overrides{
+        .n = static_cast<int>(n_override),
+        .w = static_cast<int>(w_override),
+        .replicas = replicas_override};
+    if (!seg::make_builtin_campaign(scenario, overrides, &campaign)) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                   scenario.c_str());
+      return 1;
+    }
+  }
+
+  seg::CampaignOptions options;
+  options.threads = threads;
+  options.checkpoint_path = args.get_string("checkpoint", "");
+  options.checkpoint_every = checkpoint_every;
+  options.resume = args.get_bool("resume", false);
+  options.stop_after = stop_after;
+
+  const std::size_t total = campaign.points.size() * campaign.spec.replicas;
+  std::printf("campaign '%s': %zu points x %zu replicas = %zu runs, "
+              "seed %llu, %zu thread(s)\n",
+              campaign.spec.name.c_str(), campaign.points.size(),
+              campaign.spec.replicas, total,
+              static_cast<unsigned long long>(seed),
+              options.threads == 0 ? 0 : options.threads);
+
+  const seg::CampaignResult result = seg::run_campaign(
+      campaign.spec, campaign.points, campaign.metric_names,
+      campaign.replica, seed, options);
+
+  if (!args.get_bool("quiet", false)) {
+    seg::ConsoleSink console;
+    console.write(campaign.spec, result);
+  }
+
+  const std::string out =
+      args.get_string("out", campaign.spec.name + ".csv");
+  const std::string manifest_path =
+      args.get_string("manifest", campaign.spec.name + ".manifest");
+  seg::CsvSink csv(out);
+  seg::ManifestSink manifest(manifest_path);
+  manifest.set_info("threads", std::to_string(options.threads));
+  manifest.set_info("csv", out);
+  if (!spec_path.empty()) manifest.set_info("spec_file", spec_path);
+  if (!seg::write_all(campaign.spec, result, {&csv, &manifest})) {
+    std::fprintf(stderr, "failed to write %s or %s\n", out.c_str(),
+                 manifest_path.c_str());
+    return 1;
+  }
+  std::printf("aggregates -> %s, manifest -> %s\n", out.c_str(),
+              manifest_path.c_str());
+  if (result.checkpoint_write_failed) {
+    std::fprintf(stderr, "warning: checkpoint writes to %s failed; a kill "
+                         "would lose this run's progress\n",
+                 options.checkpoint_path.c_str());
+  }
+  if (!result.complete) {
+    std::printf("run incomplete (%zu/%zu replicas); resume with "
+                "--checkpoint %s --resume\n",
+                result.replicas_done, total,
+                options.checkpoint_path.empty()
+                    ? "<path>"
+                    : options.checkpoint_path.c_str());
+  }
+  return result.complete ? 0 : 2;
+}

@@ -1,0 +1,124 @@
+#include "campaign/builtin.h"
+
+#include <algorithm>
+
+#include "campaign/metrics.h"
+#include "percolation/chemical.h"
+#include "percolation/clusters.h"
+#include "percolation/field.h"
+
+namespace seg {
+namespace {
+
+BuiltinCampaign phase_diagram_campaign(const BuiltinOverrides& overrides) {
+  BuiltinCampaign out;
+  out.spec.name = "phase_diagram";
+  out.spec.n = {overrides.n > 0 ? overrides.n : 64};
+  out.spec.w = {overrides.w > 0 ? overrides.w : 2};
+  out.spec.tau = {0.30, 0.36, 0.40, 0.44, 0.48, 0.50};
+  out.spec.p = {0.50, 0.55, 0.60, 0.70, 0.80, 0.90};
+  out.spec.replicas = overrides.replicas > 0 ? overrides.replicas : 3;
+  out.spec.region_samples = 16;
+  out.spec.metrics = {"mean_mono_region", "fixation", "majority", "flips"};
+  out.points = expand_grid(out.spec);
+  out.metric_names = out.spec.metrics;
+  out.replica = make_schelling_replica(out.spec);
+  return out;
+}
+
+BuiltinCampaign region_size_campaign(const BuiltinOverrides& overrides) {
+  BuiltinCampaign out;
+  out.spec.name = "region_size";
+  out.spec.tau = {0.45, 0.40, 0.55};
+  out.spec.w = {1, 2, 3, 4, 5};
+  out.spec.replicas = overrides.replicas > 0 ? overrides.replicas : 3;
+  out.spec.region_samples = 24;
+  out.spec.almost_eps = 0.1;
+  out.spec.metrics = {"mean_mono_region", "mean_almost_region"};
+  out.points = expand_grid(out.spec);
+  // The bench ties the torus side to the horizon so the grid stays large
+  // relative to the neighborhood: n = max(64, 24w).
+  for (ScenarioPoint& pt : out.points) {
+    pt.params.n = std::max(64, 24 * pt.params.w);
+  }
+  out.metric_names = out.spec.metrics;
+  out.replica = make_schelling_replica(out.spec);
+  return out;
+}
+
+BuiltinCampaign percolation_stretch_campaign(
+    const BuiltinOverrides& overrides) {
+  BuiltinCampaign out;
+  out.spec.name = "percolation_stretch";
+  out.spec.n = {overrides.n > 0 ? overrides.n : 192};  // box side L
+  out.spec.p = {0.65, 0.70, 0.75, 0.85, 0.95};
+  out.spec.replicas = overrides.replicas > 0 ? overrides.replicas : 24;
+  out.spec.metrics = {"connected", "stretch", "tail_125"};
+  out.points = expand_grid(out.spec);
+  out.metric_names = out.spec.metrics;
+  out.replica = [](const ScenarioPoint& point, std::size_t /*replica*/,
+                   std::uint64_t replica_seed) {
+    Rng rng = Rng::stream(replica_seed, 0);
+    const int L = point.params.n;
+    const SiteField field(L, point.params.p, rng);
+    const StretchSample s =
+        chemical_stretch(field, L / 8, L / 2, 7 * L / 8, L / 2);
+    // Unconnected pairs contribute zeros; conditional means are recovered
+    // downstream as sum(stretch) / sum(connected).
+    return std::vector<double>{s.connected ? 1.0 : 0.0,
+                               s.connected ? s.stretch : 0.0,
+                               s.connected && s.stretch >= 1.25 ? 1.0 : 0.0};
+  };
+  return out;
+}
+
+BuiltinCampaign percolation_radius_campaign(
+    const BuiltinOverrides& overrides) {
+  BuiltinCampaign out;
+  out.spec.name = "percolation_radius";
+  out.spec.n = {overrides.n > 0 ? overrides.n : 61};  // box side L
+  out.spec.p = {0.30, 0.40, 0.50};
+  out.spec.replicas = overrides.replicas > 0 ? overrides.replicas : 400;
+  out.spec.metrics = {"open", "r_ge_2", "r_ge_4", "r_ge_8", "r_ge_16"};
+  out.points = expand_grid(out.spec);
+  out.metric_names = out.spec.metrics;
+  out.replica = [](const ScenarioPoint& point, std::size_t /*replica*/,
+                   std::uint64_t replica_seed) {
+    Rng rng = Rng::stream(replica_seed, 0);
+    const int L = point.params.n;
+    const SiteField field(L, point.params.p, rng);
+    const int r = cluster_l1_radius(field, L / 2, L / 2);
+    std::vector<double> values{r >= 0 ? 1.0 : 0.0};
+    for (const int k : {2, 4, 8, 16}) {
+      values.push_back(r >= k ? 1.0 : 0.0);
+    }
+    return values;
+  };
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_campaign_names() {
+  return {"phase_diagram", "region_size", "percolation_stretch",
+          "percolation_radius"};
+}
+
+bool make_builtin_campaign(const std::string& name,
+                           const BuiltinOverrides& overrides,
+                           BuiltinCampaign* out) {
+  if (name == "phase_diagram") {
+    *out = phase_diagram_campaign(overrides);
+  } else if (name == "region_size") {
+    *out = region_size_campaign(overrides);
+  } else if (name == "percolation_stretch") {
+    *out = percolation_stretch_campaign(overrides);
+  } else if (name == "percolation_radius") {
+    *out = percolation_radius_campaign(overrides);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace seg

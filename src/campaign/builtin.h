@@ -1,0 +1,50 @@
+// Built-in campaigns: the paper's bench experiments expressed as scenario
+// definitions so the bench drivers and the campaign_runner CLI share one
+// source of truth (same spec + same campaign seed => same aggregates,
+// bitwise, at any thread count).
+//
+//  * phase_diagram       — the (tau, p) phase portrait of the concluding
+//                          remarks (bench/exp_phase_diagram).
+//  * region_size         — E[M], E[M'] versus neighborhood size N for the
+//                          Theorem 1/2 exponential-growth fits
+//                          (bench/exp_region_size); the grid side is tied
+//                          to w as n = max(64, 24w).
+//  * percolation_stretch — supercritical chemical-distance stretch,
+//                          Theorem 4 (bench/exp_percolation, part 1).
+//  * percolation_radius  — subcritical cluster-radius decay, Theorem 5
+//                          (bench/exp_percolation, part 2).
+//
+// The percolation campaigns reuse the grid axes with their natural
+// reinterpretation (n is the box side L, p the site-open probability) and
+// supply custom replica functions over percolation/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+
+namespace seg {
+
+struct BuiltinCampaign {
+  ScenarioSpec spec;
+  std::vector<ScenarioPoint> points;     // expanded (and possibly adjusted)
+  std::vector<std::string> metric_names;
+  ReplicaFn replica;
+};
+
+// Optional overrides for the campaign's defaults; 0 keeps the default.
+struct BuiltinOverrides {
+  int n = 0;            // grid side (phase_diagram) / box side L (percolation)
+  int w = 0;            // horizon (phase_diagram)
+  std::size_t replicas = 0;
+};
+
+std::vector<std::string> builtin_campaign_names();
+
+// False if `name` is not a built-in campaign.
+bool make_builtin_campaign(const std::string& name,
+                           const BuiltinOverrides& overrides,
+                           BuiltinCampaign* out);
+
+}  // namespace seg

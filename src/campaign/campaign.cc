@@ -1,0 +1,246 @@
+#include "campaign/campaign.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "campaign/checkpoint.h"
+#include "campaign/metrics.h"
+#include "rng/splitmix64.h"
+#include "util/thread_pool.h"
+
+namespace seg {
+
+const RunningStats* CampaignResult::stats_for(
+    std::size_t point_index, const std::string& metric) const {
+  if (point_index >= points.size()) return nullptr;
+  for (std::size_t m = 0; m < metric_names.size(); ++m) {
+    if (metric_names[m] == metric) return &points[point_index].stats[m];
+  }
+  return nullptr;
+}
+
+std::uint64_t derive_replica_seed(std::uint64_t campaign_seed,
+                                  std::size_t global_index) {
+  return mix_seed(campaign_seed,
+                  static_cast<std::uint64_t>(global_index));
+}
+
+namespace {
+
+// Campaign identity for checkpoints: the spec hash alone is not enough
+// because callers (e.g. the region_size built-in) may adjust the expanded
+// points after expand_grid; hash what will actually run.
+std::uint64_t campaign_identity(const ScenarioSpec& spec,
+                                const std::vector<ScenarioPoint>& points) {
+  std::uint64_t h = spec.hash();
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;  // FNV-1a prime
+    }
+  };
+  auto mix_double = [&mix](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  for (const ScenarioPoint& pt : points) {
+    mix(static_cast<std::uint64_t>(pt.params.n));
+    mix(static_cast<std::uint64_t>(pt.params.w));
+    mix_double(pt.params.tau);
+    mix_double(pt.params.tau_minus);
+    mix_double(pt.params.p);
+    mix(static_cast<std::uint64_t>(pt.params.shape));
+    mix(static_cast<std::uint64_t>(pt.dynamics));
+  }
+  return h;
+}
+
+// Caller-supplied metric names define the column layout of the checkpoint
+// rows, so they are part of the identity too (spec.metrics may differ
+// from them for custom-replica campaigns).
+std::uint64_t metrics_identity(std::uint64_t h,
+                               const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    for (const char c : name) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;  // separator so {"ab","c"} != {"a","bc"}
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Shared mutable state of one engine run. `mutex` guards done / values /
+// the counters; `checkpoint_mutex` guards `checkpoint` and serializes
+// writers so file I/O happens outside `mutex`.
+struct EngineState {
+  std::mutex mutex;
+  std::mutex checkpoint_mutex;
+  std::vector<std::uint8_t> done;
+  std::vector<std::vector<double>> values;
+  std::size_t fresh_done = 0;       // completed in this run
+  std::size_t since_checkpoint = 0;
+  std::atomic<bool> stop{false};
+  // Accumulated snapshot written to disk; rows are added incrementally as
+  // replicas complete, so a write never copies more than the delta.
+  CheckpointData checkpoint;
+  bool checkpoint_write_failed = false;  // guarded by checkpoint_mutex
+};
+
+// Folds newly completed rows into the persistent snapshot and writes it.
+// Only the done-flag byte vector is copied under the engine mutex; a row
+// published there is immutable afterwards, so its values are copied
+// outside the lock and workers never wait on the copy or the disk.
+// checkpoint_mutex is taken first and never inside `mutex`.
+void write_checkpoint(const std::string& path, EngineState& state) {
+  std::lock_guard<std::mutex> io_lock(state.checkpoint_mutex);
+  std::vector<std::uint8_t> done_now;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    done_now = state.done;
+  }
+  CheckpointData& ck = state.checkpoint;
+  for (std::size_t g = 0; g < done_now.size(); ++g) {
+    if (done_now[g] && !ck.done[g]) {
+      ck.values[g] = state.values[g];
+      ck.done[g] = 1;
+    }
+  }
+  if (!save_checkpoint(path, ck)) {
+    if (!state.checkpoint_write_failed) {
+      std::fprintf(stderr,
+                   "warning: failed to write campaign checkpoint %s\n",
+                   path.c_str());
+    }
+    state.checkpoint_write_failed = true;
+  }
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const ScenarioSpec& spec,
+                            const std::vector<ScenarioPoint>& points,
+                            const std::vector<std::string>& metric_names,
+                            const ReplicaFn& replica, std::uint64_t seed,
+                            const CampaignOptions& options) {
+  const std::size_t replicas = spec.replicas;
+  const std::size_t metric_count = metric_names.size();
+  const std::size_t total = points.size() * replicas;
+  const std::uint64_t identity =
+      metrics_identity(campaign_identity(spec, points), metric_names);
+
+  EngineState state;
+  state.done.assign(total, 0);
+  state.values.assign(total, {});
+
+  std::size_t resumed = 0;
+  if (options.resume && !options.checkpoint_path.empty()) {
+    CheckpointData ck;
+    if (load_checkpoint(options.checkpoint_path, &ck) && ck.seed == seed &&
+        ck.spec_hash == identity && ck.done.size() == total &&
+        ck.metric_count == metric_count) {
+      state.done = std::move(ck.done);
+      state.values = std::move(ck.values);
+      resumed = 0;
+      for (const std::uint8_t d : state.done) resumed += d != 0;
+    }
+  }
+  state.checkpoint.seed = seed;
+  state.checkpoint.spec_hash = identity;
+  state.checkpoint.metric_count = metric_count;
+  state.checkpoint.done = state.done;      // resumed rows seed the snapshot
+  state.checkpoint.values = state.values;
+
+  std::vector<std::size_t> pending;
+  pending.reserve(total - resumed);
+  for (std::size_t g = 0; g < total; ++g) {
+    if (!state.done[g]) pending.push_back(g);
+  }
+
+  auto run_one = [&](std::size_t g) {
+    const ScenarioPoint& point = points[g / replicas];
+    std::vector<double> row =
+        replica(point, g % replicas, derive_replica_seed(seed, g));
+    assert(row.size() == metric_count && "replica returned a wrong-width row");
+    row.resize(metric_count, 0.0);
+    bool checkpoint_due = false;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.values[g] = std::move(row);
+      state.done[g] = 1;
+      ++state.fresh_done;
+      if (options.stop_after > 0 && state.fresh_done >= options.stop_after) {
+        state.stop.store(true, std::memory_order_relaxed);
+      }
+      if (options.progress) {
+        options.progress(resumed + state.fresh_done, total);
+      }
+      if (!options.checkpoint_path.empty() &&
+          ++state.since_checkpoint >= options.checkpoint_every) {
+        state.since_checkpoint = 0;
+        checkpoint_due = true;
+      }
+    }
+    if (checkpoint_due) {
+      write_checkpoint(options.checkpoint_path, state);
+    }
+  };
+
+  if (options.threads == 1) {
+    for (const std::size_t g : pending) {
+      if (state.stop.load(std::memory_order_relaxed)) break;
+      run_one(g);
+    }
+  } else if (!pending.empty()) {
+    ThreadPool pool(options.threads);
+    for (const std::size_t g : pending) {
+      pool.submit([&, g] {
+        if (state.stop.load(std::memory_order_relaxed)) return;
+        run_one(g);
+      });
+    }
+    pool.wait_idle();
+  }
+
+  if (!options.checkpoint_path.empty()) {
+    write_checkpoint(options.checkpoint_path, state);
+  }
+
+  // Deterministic fold: global replica order, independent of which thread
+  // produced each row and of any checkpoint/resume boundary.
+  CampaignResult result;
+  result.seed = seed;
+  result.metric_names = metric_names;
+  result.points.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.points[i].point = points[i];
+    result.points[i].stats.resize(metric_count);
+  }
+  std::size_t done_total = 0;
+  for (std::size_t g = 0; g < total; ++g) {
+    if (!state.done[g]) continue;
+    ++done_total;
+    PointResult& pr = result.points[g / replicas];
+    for (std::size_t m = 0; m < metric_count; ++m) {
+      pr.stats[m].add(state.values[g][m]);
+    }
+  }
+  result.replicas_done = done_total;
+  result.replicas_resumed = resumed;
+  result.complete = done_total == total;
+  result.checkpoint_write_failed = state.checkpoint_write_failed;
+  return result;
+}
+
+CampaignResult run_campaign(const ScenarioSpec& spec, std::uint64_t seed,
+                            const CampaignOptions& options) {
+  return run_campaign(spec, expand_grid(spec), spec.metrics,
+                      make_schelling_replica(spec), seed, options);
+}
+
+}  // namespace seg

@@ -1,0 +1,97 @@
+// The campaign engine: fans the replicas of a scenario grid out over a
+// thread pool and aggregates per-replica metrics online.
+//
+// Determinism contract: replica g (the global index point * replicas +
+// r) draws every random bit from a stream derived as mix_seed(campaign
+// seed, g), and the per-point aggregates are folded in global replica
+// order after all replicas finish. The aggregated result is therefore
+// bitwise identical at any thread count, and identical whether the
+// campaign ran uninterrupted or was checkpointed, killed and resumed.
+//
+// Checkpointing: when a checkpoint path is set, the engine periodically
+// persists the raw per-replica metric vectors (bit-exact) plus the spec
+// hash; a resumed run loads them, skips the completed replicas, and
+// produces the same fold.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.h"
+#include "util/stats.h"
+
+namespace seg {
+
+// Computes the metric vector for one replica of one scenario point. The
+// vector must be parallel to the campaign's metric names. `replica` is the
+// 0-based replica index within the point; `replica_seed` is the stream
+// seed derived from the campaign seed and the global replica index — all
+// randomness must come from it.
+using ReplicaFn = std::function<std::vector<double>(
+    const ScenarioPoint& point, std::size_t replica,
+    std::uint64_t replica_seed)>;
+
+struct CampaignOptions {
+  std::size_t threads = 1;  // 0 = hardware concurrency
+
+  // Empty disables checkpointing. Writes are atomic (tmp + rename).
+  std::string checkpoint_path;
+  // Replicas completed between checkpoint writes.
+  std::size_t checkpoint_every = 64;
+  // Load checkpoint_path (if present and matching) before running.
+  bool resume = false;
+
+  // If nonzero, stop scheduling new replicas once this many have finished
+  // in this run (already-running replicas still complete). Used to bound
+  // a run's work and to exercise the checkpoint/resume path; the result
+  // is marked incomplete.
+  std::size_t stop_after = 0;
+
+  // Invoked (under the engine lock) as replicas finish.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+struct PointResult {
+  ScenarioPoint point;
+  // Parallel to CampaignResult::metric_names; each accumulator holds the
+  // point's completed replicas, folded in replica order.
+  std::vector<RunningStats> stats;
+};
+
+struct CampaignResult {
+  std::uint64_t seed = 0;
+  std::vector<std::string> metric_names;
+  std::vector<PointResult> points;
+  std::size_t replicas_done = 0;     // completed, including resumed
+  std::size_t replicas_resumed = 0;  // loaded from a checkpoint
+  bool complete = false;             // every replica of every point done
+  // True if any checkpoint write failed (also warned on stderr once);
+  // the run's results are still valid but a kill would lose them.
+  bool checkpoint_write_failed = false;
+
+  // nullptr if the point index or metric name is unknown.
+  const RunningStats* stats_for(std::size_t point_index,
+                                const std::string& metric) const;
+};
+
+// Stream seed for global replica index g of a campaign.
+std::uint64_t derive_replica_seed(std::uint64_t campaign_seed,
+                                  std::size_t global_index);
+
+// Core engine: runs `replica` for every (point, replica) pair not already
+// satisfied by a resumed checkpoint. `metric_names` defines the layout of
+// the replica vectors and of the aggregated result.
+CampaignResult run_campaign(const ScenarioSpec& spec,
+                            const std::vector<ScenarioPoint>& points,
+                            const std::vector<std::string>& metric_names,
+                            const ReplicaFn& replica, std::uint64_t seed,
+                            const CampaignOptions& options = {});
+
+// Convenience: expands the spec's grid and runs the built-in Schelling
+// replica with spec.metrics resolved against the metric registry.
+CampaignResult run_campaign(const ScenarioSpec& spec, std::uint64_t seed,
+                            const CampaignOptions& options = {});
+
+}  // namespace seg

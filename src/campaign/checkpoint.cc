@@ -1,0 +1,116 @@
+#include "campaign/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace seg {
+namespace {
+
+constexpr char kMagic[] = "seg-campaign-checkpoint v1";
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::size_t CheckpointData::done_count() const {
+  std::size_t count = 0;
+  for (const std::uint8_t d : done) count += d != 0;
+  return count;
+}
+
+bool save_checkpoint(const std::string& path, const CheckpointData& data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fprintf(f, "%s\n", kMagic) > 0;
+  ok = ok && std::fprintf(f, "seed %" PRIu64 " hash %" PRIu64
+                             " replicas %zu metrics %zu\n",
+                          data.seed, data.spec_hash, data.done.size(),
+                          data.metric_count) > 0;
+  for (std::size_t g = 0; ok && g < data.done.size(); ++g) {
+    if (!data.done[g]) continue;
+    ok = std::fprintf(f, "r %zu", g) > 0;
+    for (const double v : data.values[g]) {
+      ok = ok && std::fprintf(f, " %016" PRIx64, double_bits(v)) > 0;
+    }
+    ok = ok && std::fprintf(f, "\n") > 0;
+  }
+  ok = ok && std::fprintf(f, "end %zu\n", data.done_count()) > 0;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool load_checkpoint(const std::string& path, CheckpointData* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return false;
+  CheckpointData data;
+  char magic[64] = {0};
+  bool ok = std::fgets(magic, sizeof(magic), f) != nullptr;
+  if (ok) {
+    const std::size_t len = std::strlen(magic);
+    if (len > 0 && magic[len - 1] == '\n') magic[len - 1] = '\0';
+    ok = std::strcmp(magic, kMagic) == 0;
+  }
+  std::size_t replica_count = 0;
+  ok = ok && std::fscanf(f, "seed %" SCNu64 " hash %" SCNu64
+                            " replicas %zu metrics %zu\n",
+                         &data.seed, &data.spec_hash, &replica_count,
+                         &data.metric_count) == 4;
+  // Cap allocations for corrupt headers (a campaign of a billion replicas
+  // with values in memory is not a real workload).
+  constexpr std::size_t kMaxReplicas = std::size_t{1} << 30;
+  constexpr std::size_t kMaxMetrics = 4096;
+  ok = ok && replica_count <= kMaxReplicas && data.metric_count <= kMaxMetrics;
+  if (ok) {
+    data.done.assign(replica_count, 0);
+    data.values.assign(replica_count, {});
+  }
+  bool saw_trailer = false;
+  std::size_t trailer_count = 0;
+  while (ok) {
+    char tag[8] = {0};
+    if (std::fscanf(f, "%7s", tag) != 1) break;  // EOF
+    if (std::strcmp(tag, "r") == 0) {
+      std::size_t g = 0;
+      ok = std::fscanf(f, "%zu", &g) == 1 && g < replica_count;
+      if (!ok) break;
+      std::vector<double> row(data.metric_count);
+      for (std::size_t m = 0; ok && m < data.metric_count; ++m) {
+        std::uint64_t bits = 0;
+        ok = std::fscanf(f, " %" SCNx64, &bits) == 1;
+        row[m] = bits_double(bits);
+      }
+      if (ok) {
+        data.done[g] = 1;
+        data.values[g] = std::move(row);
+      }
+    } else if (std::strcmp(tag, "end") == 0) {
+      ok = std::fscanf(f, "%zu", &trailer_count) == 1;
+      saw_trailer = ok;
+      break;
+    } else {
+      ok = false;
+    }
+  }
+  std::fclose(f);
+  if (!ok || !saw_trailer || trailer_count != data.done_count()) return false;
+  *out = std::move(data);
+  return true;
+}
+
+}  // namespace seg

@@ -1,0 +1,41 @@
+// Campaign checkpoint persistence.
+//
+// A checkpoint stores the raw per-replica metric vectors (not the folded
+// aggregates) so a resumed campaign can rebuild the exact same fold the
+// uninterrupted run would have produced. Doubles are stored as their IEEE
+// bit patterns in hex, so the round-trip is bit-exact. Files are written
+// to a temp path and renamed into place, and carry a trailer line, so a
+// half-written checkpoint is detected and ignored on load.
+//
+// Identity: a checkpoint records the campaign seed and an identity hash
+// (spec text plus the actual expanded points, see campaign.cc); resuming
+// against a different seed, spec, or point list must be refused by the
+// caller (the engine checks all of it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seg {
+
+struct CheckpointData {
+  std::uint64_t seed = 0;
+  std::uint64_t spec_hash = 0;
+  std::size_t metric_count = 0;
+  // One flag per global replica index; values[g] is meaningful iff
+  // done[g] != 0 and then holds metric_count entries.
+  std::vector<std::uint8_t> done;
+  std::vector<std::vector<double>> values;
+
+  std::size_t done_count() const;
+};
+
+// Atomically writes `data` to `path`. Returns false on I/O failure.
+bool save_checkpoint(const std::string& path, const CheckpointData& data);
+
+// Loads `path`. Returns false (leaving *out untouched) if the file is
+// missing, truncated, or malformed.
+bool load_checkpoint(const std::string& path, CheckpointData* out);
+
+}  // namespace seg

@@ -1,0 +1,186 @@
+#include "campaign/metrics.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace seg {
+namespace {
+
+double metric_flips(MetricContext& ctx) {
+  return static_cast<double>(ctx.run.flips);
+}
+
+double metric_time(MetricContext& ctx) { return ctx.run.final_time; }
+
+double metric_terminated(MetricContext& ctx) {
+  return ctx.run.terminated ? 1.0 : 0.0;
+}
+
+double metric_fixation(MetricContext& ctx) {
+  return completely_segregated(ctx.model.spins()) ? 1.0 : 0.0;
+}
+
+double metric_majority(MetricContext& ctx) {
+  return majority_fraction(ctx.model.spins());
+}
+
+double metric_happy_fraction(MetricContext& ctx) {
+  return ctx.model.happy_fraction();
+}
+
+double metric_unhappy_count(MetricContext& ctx) {
+  return static_cast<double>(ctx.model.count_unhappy());
+}
+
+double metric_plus_fraction(MetricContext& ctx) {
+  return ctx.model.plus_fraction();
+}
+
+double metric_mean_mono_region(MetricContext& ctx) {
+  return mean_mono_region_size(ctx.mono(), ctx.spec.region_samples,
+                               ctx.sample_rng);
+}
+
+double metric_largest_mono_region(MetricContext& ctx) {
+  return static_cast<double>(largest_mono_region(ctx.mono()));
+}
+
+double metric_mean_almost_region(MetricContext& ctx) {
+  return mean_almost_region_size(ctx.almost(), ctx.spec.region_samples,
+                                 ctx.sample_rng);
+}
+
+double metric_largest_almost_region(MetricContext& ctx) {
+  return static_cast<double>(largest_almost_region(ctx.almost()));
+}
+
+double metric_largest_cluster(MetricContext& ctx) {
+  return static_cast<double>(ctx.clusters().largest_cluster);
+}
+
+double metric_cluster_count(MetricContext& ctx) {
+  return static_cast<double>(ctx.clusters().cluster_count);
+}
+
+double metric_mean_cluster_size(MetricContext& ctx) {
+  return ctx.clusters().mean_cluster_size;
+}
+
+double metric_interface_length(MetricContext& ctx) {
+  return static_cast<double>(ctx.clusters().interface_length);
+}
+
+struct MetricEntry {
+  const char* name;
+  MetricFn fn;
+};
+
+// Registry order is the order known_metrics() reports; metric evaluation
+// order within a replica follows spec.metrics, not this table.
+constexpr MetricEntry kRegistry[] = {
+    {"flips", metric_flips},
+    {"time", metric_time},
+    {"terminated", metric_terminated},
+    {"fixation", metric_fixation},
+    {"majority", metric_majority},
+    {"happy_fraction", metric_happy_fraction},
+    {"unhappy_count", metric_unhappy_count},
+    {"plus_fraction", metric_plus_fraction},
+    {"mean_mono_region", metric_mean_mono_region},
+    {"largest_mono_region", metric_largest_mono_region},
+    {"mean_almost_region", metric_mean_almost_region},
+    {"largest_almost_region", metric_largest_almost_region},
+    {"largest_cluster", metric_largest_cluster},
+    {"cluster_count", metric_cluster_count},
+    {"mean_cluster_size", metric_mean_cluster_size},
+    {"interface_length", metric_interface_length},
+};
+
+}  // namespace
+
+const MonoRegionField& MetricContext::mono() {
+  if (!mono_) {
+    mono_ = std::make_unique<MonoRegionField>(mono_region_field(model));
+  }
+  return *mono_;
+}
+
+const AlmostMonoField& MetricContext::almost() {
+  if (!almost_) {
+    almost_ = std::make_unique<AlmostMonoField>(
+        almost_mono_field(model, spec.almost_eps));
+  }
+  return *almost_;
+}
+
+const ClusterStats& MetricContext::clusters() {
+  if (!clusters_) {
+    clusters_ = std::make_unique<ClusterStats>(cluster_stats(model));
+  }
+  return *clusters_;
+}
+
+bool lookup_metric(const std::string& name, MetricFn* fn) {
+  for (const MetricEntry& entry : kRegistry) {
+    if (name == entry.name) {
+      if (fn) *fn = entry.fn;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> known_metrics() {
+  std::vector<std::string> names;
+  for (const MetricEntry& entry : kRegistry) names.emplace_back(entry.name);
+  return names;
+}
+
+ReplicaFn make_schelling_replica(const ScenarioSpec& spec) {
+  std::vector<MetricFn> fns;
+  fns.reserve(spec.metrics.size());
+  for (const std::string& name : spec.metrics) {
+    MetricFn fn = nullptr;
+    const bool known = lookup_metric(name, &fn);
+    assert(known && "unknown metric; validate the spec before running");
+    if (!known) {
+      // Release-build fallback: a constant NaN column is visible in the
+      // output instead of silently shifting later columns.
+      fn = +[](MetricContext&) {
+        return std::numeric_limits<double>::quiet_NaN();
+      };
+    }
+    fns.push_back(fn);
+  }
+  return [spec, fns](const ScenarioPoint& point, std::size_t /*replica*/,
+                     std::uint64_t replica_seed) {
+    // Stream layout matches the bench convention: 0 = initial
+    // configuration, 1 = dynamics, 2 = measurement sampling.
+    Rng init = Rng::stream(replica_seed, 0);
+    SchellingModel model(point.params, init);
+    Rng dyn = Rng::stream(replica_seed, 1);
+    RunOptions run_options;
+    if (spec.max_flips > 0) run_options.max_flips = spec.max_flips;
+    RunResult run;
+    switch (point.dynamics) {
+      case DynamicsKind::kGlauber:
+        run = run_glauber(model, dyn, run_options);
+        break;
+      case DynamicsKind::kDiscrete:
+        run = run_discrete(model, dyn, run_options);
+        break;
+      case DynamicsKind::kSynchronous:
+        run = run_synchronous(model, spec.sync_max_rounds, run_options);
+        break;
+    }
+    Rng sample = Rng::stream(replica_seed, 2);
+    MetricContext ctx(model, run, spec, sample);
+    std::vector<double> values;
+    values.reserve(fns.size());
+    for (const MetricFn fn : fns) values.push_back(fn(ctx));
+    return values;
+  };
+}
+
+}  // namespace seg

@@ -1,0 +1,64 @@
+// The metric registry for Schelling campaigns: named per-replica
+// observables evaluated on the absorbing (or stopped) configuration.
+// ScenarioSpec.metrics picks rows from this registry by name; the built-in
+// replica function runs the configured dynamics and evaluates each metric
+// in the declared order.
+//
+// Expensive derived structures (the mono-region distance transform, the
+// cluster decomposition, the almost-mono field) are computed lazily and
+// shared across the metrics of one replica.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/almost.h"
+#include "analysis/clusters.h"
+#include "analysis/regions.h"
+#include "campaign/campaign.h"
+#include "core/dynamics.h"
+#include "core/model.h"
+
+namespace seg {
+
+// Everything a metric may observe about a finished replica. Sampling
+// estimators draw from `sample_rng`, a stream dedicated to measurement so
+// metric evaluation never perturbs the dynamics.
+class MetricContext {
+ public:
+  MetricContext(const SchellingModel& model, const RunResult& run,
+                const ScenarioSpec& spec, Rng& sample_rng)
+      : model(model), run(run), spec(spec), sample_rng(sample_rng) {}
+
+  const SchellingModel& model;
+  const RunResult& run;
+  const ScenarioSpec& spec;
+  Rng& sample_rng;
+
+  // Lazily computed, cached for the lifetime of the replica.
+  const MonoRegionField& mono();
+  const AlmostMonoField& almost();
+  const ClusterStats& clusters();
+
+ private:
+  std::unique_ptr<MonoRegionField> mono_;
+  std::unique_ptr<AlmostMonoField> almost_;
+  std::unique_ptr<ClusterStats> clusters_;
+};
+
+using MetricFn = double (*)(MetricContext&);
+
+// Looks a metric up by name; fn may be nullptr to just test existence.
+bool lookup_metric(const std::string& name, MetricFn* fn);
+
+// Registry names, in registry order.
+std::vector<std::string> known_metrics();
+
+// Builds the engine ReplicaFn for the built-in Schelling model: constructs
+// the model from the point's params, runs the point's dynamics, then
+// evaluates spec.metrics (which must all be known). The spec is captured
+// by value.
+ReplicaFn make_schelling_replica(const ScenarioSpec& spec);
+
+}  // namespace seg

@@ -1,0 +1,295 @@
+#include "campaign/scenario.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "campaign/metrics.h"
+
+namespace seg {
+namespace {
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string join_ints(const std::vector<int>& xs) {
+  std::string out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(xs[i]);
+  }
+  return out;
+}
+
+std::string join_doubles(const std::vector<double>& xs) {
+  std::string out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) out += ',';
+    out += format_double(xs[i]);
+  }
+  return out;
+}
+
+std::string join_strings(const std::vector<std::string>& xs) {
+  std::string out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) out += ',';
+    out += xs[i];
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(s);
+  while (std::getline(in, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool parse_int_list(const std::string& s, std::vector<int>* out) {
+  out->clear();
+  for (const std::string& item : split_list(s)) {
+    char* end = nullptr;
+    const long v = std::strtol(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0') return false;
+    out->push_back(static_cast<int>(v));
+  }
+  return !out->empty();
+}
+
+bool parse_double_list(const std::string& s, std::vector<double>* out) {
+  out->clear();
+  for (const std::string& item : split_list(s)) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0') return false;
+    out->push_back(v);
+  }
+  return !out->empty();
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* dynamics_name(DynamicsKind kind) {
+  switch (kind) {
+    case DynamicsKind::kGlauber: return "glauber";
+    case DynamicsKind::kDiscrete: return "discrete";
+    case DynamicsKind::kSynchronous: return "synchronous";
+  }
+  return "glauber";
+}
+
+bool parse_dynamics(const std::string& name, DynamicsKind* out) {
+  if (name == "glauber") *out = DynamicsKind::kGlauber;
+  else if (name == "discrete") *out = DynamicsKind::kDiscrete;
+  else if (name == "synchronous") *out = DynamicsKind::kSynchronous;
+  else return false;
+  return true;
+}
+
+const char* shape_name(NeighborhoodShape shape) {
+  return shape == NeighborhoodShape::kMoore ? "moore" : "von_neumann";
+}
+
+bool parse_shape(const std::string& name, NeighborhoodShape* out) {
+  if (name == "moore") *out = NeighborhoodShape::kMoore;
+  else if (name == "von_neumann") *out = NeighborhoodShape::kVonNeumann;
+  else return false;
+  return true;
+}
+
+std::size_t ScenarioSpec::grid_size() const {
+  return n.size() * w.size() * tau.size() * tau_minus.size() * p.size() *
+         shape.size() * dynamics.size();
+}
+
+bool ScenarioSpec::valid(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (n.empty() || w.empty() || tau.empty() || tau_minus.empty() ||
+      p.empty() || shape.empty() || dynamics.empty()) {
+    return fail("every grid axis needs at least one value");
+  }
+  if (replicas == 0) return fail("replicas must be >= 1");
+  if (metrics.empty()) return fail("at least one metric is required");
+  for (const std::string& m : metrics) {
+    if (!lookup_metric(m, nullptr)) return fail("unknown metric: " + m);
+  }
+  for (const ScenarioPoint& pt : expand_grid(*this)) {
+    if (!pt.params.valid()) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "invalid point (n=%d, w=%d, tau=%g, p=%g)", pt.params.n,
+                    pt.params.w, pt.params.tau, pt.params.p);
+      return fail(buf);
+    }
+  }
+  return true;
+}
+
+std::string ScenarioSpec::to_text() const {
+  std::ostringstream out;
+  out << "name = " << name << '\n';
+  out << "n = " << join_ints(n) << '\n';
+  out << "w = " << join_ints(w) << '\n';
+  out << "tau = " << join_doubles(tau) << '\n';
+  out << "tau_minus = " << join_doubles(tau_minus) << '\n';
+  out << "p = " << join_doubles(p) << '\n';
+  std::vector<std::string> names;
+  for (const NeighborhoodShape s : shape) names.push_back(shape_name(s));
+  out << "shape = " << join_strings(names) << '\n';
+  names.clear();
+  for (const DynamicsKind d : dynamics) names.push_back(dynamics_name(d));
+  out << "dynamics = " << join_strings(names) << '\n';
+  out << "replicas = " << replicas << '\n';
+  out << "max_flips = " << max_flips << '\n';
+  out << "sync_max_rounds = " << sync_max_rounds << '\n';
+  out << "region_samples = " << region_samples << '\n';
+  out << "almost_eps = " << format_double(almost_eps) << '\n';
+  out << "metrics = " << join_strings(metrics) << '\n';
+  return out.str();
+}
+
+bool ScenarioSpec::parse(const std::string& text, ScenarioSpec* out,
+                         std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  ScenarioSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return fail("line " + std::to_string(line_no) + ": expected key = value");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    bool ok = true;
+    if (key == "name") {
+      spec.name = value;
+      ok = !value.empty();
+    } else if (key == "n") {
+      ok = parse_int_list(value, &spec.n);
+    } else if (key == "w") {
+      ok = parse_int_list(value, &spec.w);
+    } else if (key == "tau") {
+      ok = parse_double_list(value, &spec.tau);
+    } else if (key == "tau_minus") {
+      ok = parse_double_list(value, &spec.tau_minus);
+    } else if (key == "p") {
+      ok = parse_double_list(value, &spec.p);
+    } else if (key == "shape") {
+      spec.shape.clear();
+      for (const std::string& item : split_list(value)) {
+        NeighborhoodShape s;
+        if (!parse_shape(item, &s)) { ok = false; break; }
+        spec.shape.push_back(s);
+      }
+      ok = ok && !spec.shape.empty();
+    } else if (key == "dynamics") {
+      spec.dynamics.clear();
+      for (const std::string& item : split_list(value)) {
+        DynamicsKind d;
+        if (!parse_dynamics(item, &d)) { ok = false; break; }
+        spec.dynamics.push_back(d);
+      }
+      ok = ok && !spec.dynamics.empty();
+    } else if (key == "replicas") {
+      std::uint64_t v = 0;
+      ok = parse_u64(value, &v) && v > 0;
+      spec.replicas = static_cast<std::size_t>(v);
+    } else if (key == "max_flips") {
+      ok = parse_u64(value, &spec.max_flips);
+    } else if (key == "sync_max_rounds") {
+      ok = parse_u64(value, &spec.sync_max_rounds);
+    } else if (key == "region_samples") {
+      std::uint64_t v = 0;
+      ok = parse_u64(value, &v);
+      spec.region_samples = static_cast<std::size_t>(v);
+    } else if (key == "almost_eps") {
+      std::vector<double> v;
+      ok = parse_double_list(value, &v) && v.size() == 1;
+      if (ok) spec.almost_eps = v[0];
+    } else if (key == "metrics") {
+      spec.metrics = split_list(value);
+      ok = !spec.metrics.empty();
+    } else {
+      return fail("line " + std::to_string(line_no) + ": unknown key '" +
+                  key + "'");
+    }
+    if (!ok) {
+      return fail("line " + std::to_string(line_no) + ": bad value for '" +
+                  key + "'");
+    }
+  }
+  std::string why;
+  if (!spec.valid(&why)) return fail(why);
+  *out = spec;
+  return true;
+}
+
+std::uint64_t ScenarioSpec::hash() const {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : to_text()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<ScenarioPoint> expand_grid(const ScenarioSpec& spec) {
+  std::vector<ScenarioPoint> points;
+  points.reserve(spec.grid_size());
+  for (const int n : spec.n)
+    for (const int w : spec.w)
+      for (const double tau : spec.tau)
+        for (const double tau_minus : spec.tau_minus)
+          for (const double p : spec.p)
+            for (const NeighborhoodShape shape : spec.shape)
+              for (const DynamicsKind dynamics : spec.dynamics) {
+                ScenarioPoint pt;
+                pt.index = points.size();
+                pt.params = ModelParams{.n = n,
+                                        .w = w,
+                                        .tau = tau,
+                                        .p = p,
+                                        .tau_minus = tau_minus,
+                                        .shape = shape};
+                pt.dynamics = dynamics;
+                points.push_back(pt);
+              }
+  return points;
+}
+
+}  // namespace seg

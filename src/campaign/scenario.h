@@ -1,0 +1,85 @@
+// Declarative scenario specifications for the campaign engine.
+//
+// A ScenarioSpec is a parameter grid over the model axes — grid side n,
+// horizon w, intolerance tau (and the asymmetric tau_minus of Barmpalias
+// et al.), initial density p, neighborhood shape, dynamics variant —
+// crossed with a replica count. The cartesian product of the axes defines
+// the scenario points; every point is run `replicas` times with
+// independent RNG streams derived from the single campaign seed.
+//
+// Specs have a canonical key=value text form (one key per line, list
+// values comma-separated) used both as an on-disk format for the
+// campaign_runner CLI and as the identity hashed into checkpoints so a
+// resume against a different spec is refused.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+
+namespace seg {
+
+// Which dynamics engine drives each replica to absorption.
+enum class DynamicsKind { kGlauber, kDiscrete, kSynchronous };
+
+const char* dynamics_name(DynamicsKind kind);
+bool parse_dynamics(const std::string& name, DynamicsKind* out);
+
+const char* shape_name(NeighborhoodShape shape);
+bool parse_shape(const std::string& name, NeighborhoodShape* out);
+
+struct ScenarioSpec {
+  std::string name = "campaign";
+
+  // Grid axes. The expanded points are the cartesian product, nested in
+  // declaration order (n outermost, dynamics innermost).
+  std::vector<int> n = {64};
+  std::vector<int> w = {2};
+  std::vector<double> tau = {0.45};
+  std::vector<double> tau_minus = {-1.0};  // < 0 means symmetric
+  std::vector<double> p = {0.5};
+  std::vector<NeighborhoodShape> shape = {NeighborhoodShape::kMoore};
+  std::vector<DynamicsKind> dynamics = {DynamicsKind::kGlauber};
+
+  // Replicas per scenario point.
+  std::size_t replicas = 3;
+
+  // Per-replica run controls.
+  std::uint64_t max_flips = 0;         // 0 = run to absorption
+  std::uint64_t sync_max_rounds = 4096;  // synchronous dynamics round cap
+  std::size_t region_samples = 16;     // sampled agents for E[M] estimators
+  double almost_eps = 0.1;             // epsilon for almost-mono regions
+
+  // Names resolved against the metric registry (campaign/metrics.h).
+  std::vector<std::string> metrics = {"flips", "fixation", "majority",
+                                      "mean_mono_region"};
+
+  std::size_t grid_size() const;
+  std::size_t total_replicas() const { return grid_size() * replicas; }
+
+  // Every axis non-empty, every point's ModelParams valid, every metric
+  // known to the registry.
+  bool valid(std::string* error = nullptr) const;
+
+  // Canonical text form; parse(to_text()) reproduces the spec exactly.
+  std::string to_text() const;
+  static bool parse(const std::string& text, ScenarioSpec* out,
+                    std::string* error = nullptr);
+
+  // FNV-1a over the canonical text; checkpoint identity.
+  std::uint64_t hash() const;
+};
+
+// One cell of the expanded grid.
+struct ScenarioPoint {
+  std::size_t index = 0;  // position in the expanded grid
+  ModelParams params;
+  DynamicsKind dynamics = DynamicsKind::kGlauber;
+};
+
+// Cartesian product of the spec's axes in declaration order.
+std::vector<ScenarioPoint> expand_grid(const ScenarioSpec& spec);
+
+}  // namespace seg

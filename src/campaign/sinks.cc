@@ -1,0 +1,122 @@
+#include "campaign/sinks.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "io/csv.h"
+#include "io/table.h"
+
+namespace seg {
+namespace {
+
+std::vector<std::string> csv_header(const CampaignResult& result) {
+  std::vector<std::string> header = {"point",    "n",     "w",
+                                     "tau",      "tau_minus", "p",
+                                     "shape",    "dynamics",  "replicas"};
+  for (const std::string& m : result.metric_names) {
+    header.push_back(m + "_mean");
+    header.push_back(m + "_sem");
+    header.push_back(m + "_min");
+    header.push_back(m + "_max");
+  }
+  return header;
+}
+
+}  // namespace
+
+std::string CsvSink::render(const ScenarioSpec& /*spec*/,
+                            const CampaignResult& result) {
+  CsvWriter csv(csv_header(result));
+  for (const PointResult& pr : result.points) {
+    const ModelParams& params = pr.point.params;
+    csv.new_row()
+        .add(static_cast<std::int64_t>(pr.point.index))
+        .add(static_cast<std::int64_t>(params.n))
+        .add(static_cast<std::int64_t>(params.w))
+        .add(params.tau)
+        .add(params.tau_minus)
+        .add(params.p)
+        .add(std::string(shape_name(params.shape)))
+        .add(std::string(dynamics_name(pr.point.dynamics)));
+    const std::size_t count = pr.stats.empty() ? 0 : pr.stats[0].count();
+    csv.add(static_cast<std::int64_t>(count));
+    for (const RunningStats& s : pr.stats) {
+      csv.add(s.mean()).add(s.sem());
+      csv.add(s.count() > 0 ? s.min() : 0.0);
+      csv.add(s.count() > 0 ? s.max() : 0.0);
+    }
+  }
+  return csv.str();
+}
+
+bool CsvSink::write(const ScenarioSpec& spec, const CampaignResult& result) {
+  const std::string doc = render(spec, result);
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (!f) return false;
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+void ManifestSink::set_info(const std::string& key, const std::string& value) {
+  info_.emplace_back(key, value);
+}
+
+bool ManifestSink::write(const ScenarioSpec& spec,
+                         const CampaignResult& result) {
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fprintf(f, "# campaign manifest\n[run]\n") > 0;
+  ok = ok && std::fprintf(f, "seed = %" PRIu64 "\n", result.seed) > 0;
+  ok = ok && std::fprintf(f, "spec_hash = %" PRIu64 "\n", spec.hash()) > 0;
+  ok = ok && std::fprintf(f, "points = %zu\n", result.points.size()) > 0;
+  ok = ok && std::fprintf(f, "replicas_done = %zu\n",
+                          result.replicas_done) > 0;
+  ok = ok && std::fprintf(f, "replicas_resumed = %zu\n",
+                          result.replicas_resumed) > 0;
+  ok = ok && std::fprintf(f, "complete = %s\n",
+                          result.complete ? "true" : "false") > 0;
+  for (const auto& [key, value] : info_) {
+    ok = ok && std::fprintf(f, "%s = %s\n", key.c_str(), value.c_str()) > 0;
+  }
+  ok = ok && std::fprintf(f, "\n[spec]\n%s", spec.to_text().c_str()) > 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+bool ConsoleSink::write(const ScenarioSpec& spec,
+                        const CampaignResult& result) {
+  std::printf("campaign '%s': %zu points x %zu replicas, %zu done%s\n",
+              spec.name.c_str(), result.points.size(), spec.replicas,
+              result.replicas_done,
+              result.complete ? "" : " (INCOMPLETE)");
+  std::vector<std::string> header = {"n", "w", "tau", "p", "dyn"};
+  for (const std::string& m : result.metric_names) {
+    header.push_back(m);
+    header.push_back("+/-95%");
+  }
+  TablePrinter table(header);
+  for (const PointResult& pr : result.points) {
+    const ModelParams& params = pr.point.params;
+    table.new_row()
+        .add(static_cast<std::int64_t>(params.n))
+        .add(static_cast<std::int64_t>(params.w))
+        .add(params.tau, 3)
+        .add(params.p, 3)
+        .add(std::string(dynamics_name(pr.point.dynamics)));
+    for (const RunningStats& s : pr.stats) {
+      table.add(s.mean(), 4).add(s.ci95_half_width(), 4);
+    }
+  }
+  table.print();
+  return true;
+}
+
+bool write_all(const ScenarioSpec& spec, const CampaignResult& result,
+               const std::vector<ResultSink*>& sinks) {
+  bool ok = true;
+  for (ResultSink* sink : sinks) {
+    if (sink) ok = sink->write(spec, result) && ok;
+  }
+  return ok;
+}
+
+}  // namespace seg

@@ -1,0 +1,66 @@
+// Pluggable result sinks for campaign output.
+//
+//  * CsvSink      — aggregated per-point table (one row per scenario
+//                   point; axis columns plus count/mean/sem/min/max per
+//                   metric) through io/csv.
+//  * ManifestSink — human-readable run manifest: the canonical spec text,
+//                   campaign seed and hash, completion state, and any
+//                   extra key/value info the caller attaches (thread
+//                   count, output paths, ...).
+//  * ConsoleSink  — aligned mean +/- CI table through io/table.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/campaign.h"
+
+namespace seg {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  // Returns false on I/O failure.
+  virtual bool write(const ScenarioSpec& spec,
+                     const CampaignResult& result) = 0;
+};
+
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::string path) : path_(std::move(path)) {}
+  bool write(const ScenarioSpec& spec, const CampaignResult& result) override;
+  const std::string& path() const { return path_; }
+
+  // The document the sink would write, for callers that want the bytes.
+  static std::string render(const ScenarioSpec& spec,
+                            const CampaignResult& result);
+
+ private:
+  std::string path_;
+};
+
+class ManifestSink : public ResultSink {
+ public:
+  explicit ManifestSink(std::string path) : path_(std::move(path)) {}
+  bool write(const ScenarioSpec& spec, const CampaignResult& result) override;
+  const std::string& path() const { return path_; }
+
+  // Extra lines recorded under "[run]" in the manifest.
+  void set_info(const std::string& key, const std::string& value);
+
+ private:
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> info_;
+};
+
+class ConsoleSink : public ResultSink {
+ public:
+  bool write(const ScenarioSpec& spec, const CampaignResult& result) override;
+};
+
+// Writes `result` to every sink; returns false if any sink failed.
+bool write_all(const ScenarioSpec& spec, const CampaignResult& result,
+               const std::vector<ResultSink*>& sinks);
+
+}  // namespace seg

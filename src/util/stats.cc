@@ -69,6 +69,23 @@ void Histogram::add(double x) {
   ++counts_[i];
 }
 
+void Histogram::merge(const Histogram& other) {
+  assert(lo_ == other.lo_ && hi_ == other.hi_ &&
+         counts_.size() == other.counts_.size());
+  // Fail closed in release builds: merging mismatched binnings would read
+  // out of bounds and produce garbage counts.
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    return;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::bin_lo(std::size_t i) const {
   return lo_ + width_ * static_cast<double>(i);
 }

@@ -18,6 +18,8 @@ namespace seg {
 class RunningStats {
  public:
   void add(double x);
+  // Combines another accumulator (Chan et al. pairwise update) so
+  // per-thread shards can be folded into campaign-level aggregates.
   void merge(const RunningStats& other);
   void reset();
 
@@ -48,6 +50,10 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
+  // Combines another accumulator over the same binning (same lo/hi/bins);
+  // the per-thread counterpart of RunningStats::merge. A mismatched
+  // binning asserts in debug builds and is ignored in release builds.
+  void merge(const Histogram& other);
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   std::size_t underflow() const { return underflow_; }

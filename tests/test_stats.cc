@@ -180,5 +180,89 @@ TEST(MeanOfTest, Basic) {
   EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
 }
 
+// Parallel-Welford shape: one shard per worker over contiguous blocks,
+// folded left-to-right, must agree with the sequential stream.
+TEST(RunningStats, ShardedMergeMatchesSequential) {
+  constexpr int kShards = 16;
+  constexpr int kPerShard = 250;
+  RunningStats sequential;
+  std::vector<RunningStats> shards(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    for (int i = 0; i < kPerShard; ++i) {
+      const double v = std::cos(s * kPerShard + i) * 3.0 + 0.5;
+      sequential.add(v);
+      shards[s].add(v);
+    }
+  }
+  RunningStats folded;
+  for (const RunningStats& shard : shards) folded.merge(shard);
+  EXPECT_EQ(folded.count(), sequential.count());
+  EXPECT_NEAR(folded.mean(), sequential.mean(), 1e-13);
+  EXPECT_NEAR(folded.variance(), sequential.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(folded.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(folded.max(), sequential.max());
+}
+
+// Tree reduction (the order a parallel fold naturally produces) must agree
+// with a flat left fold.
+TEST(RunningStats, TreeMergeMatchesFlatMerge) {
+  constexpr int kShards = 8;
+  std::vector<RunningStats> shards(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    for (int i = 0; i < 100; ++i) {
+      shards[s].add(std::sin(0.1 * (s * 100 + i)));
+    }
+  }
+  RunningStats flat;
+  for (const RunningStats& shard : shards) flat.merge(shard);
+  std::vector<RunningStats> level(shards);
+  while (level.size() > 1) {
+    std::vector<RunningStats> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      RunningStats pair = level[i];
+      pair.merge(level[i + 1]);
+      next.push_back(pair);
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  EXPECT_EQ(level[0].count(), flat.count());
+  EXPECT_NEAR(level[0].mean(), flat.mean(), 1e-13);
+  EXPECT_NEAR(level[0].variance(), flat.variance(), 1e-12);
+}
+
+// Large common offset with tiny spread: the catastrophic-cancellation
+// regime a naive sum-of-squares merge gets wrong.
+TEST(RunningStats, MergeStableUnderLargeOffset) {
+  constexpr double kOffset = 1e9;
+  RunningStats a, b, sequential;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = kOffset + (i % 7) * 0.125;
+    (i < 500 ? a : b).add(v);
+    sequential.add(v);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), sequential.mean(), 1e-6);
+  EXPECT_NEAR(a.variance(), sequential.variance(), 1e-9);
+  EXPECT_GT(a.variance(), 0.0);
+}
+
+TEST(Histogram, MergeSumsBinsAndTails) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(0.5);
+  a.add(-1.0);
+  b.add(0.7);
+  b.add(5.5);
+  b.add(11.0);
+  a.merge(b);
+  EXPECT_EQ(a.bin_count(0), 2u);
+  EXPECT_EQ(a.bin_count(5), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_DOUBLE_EQ(a.fraction(0), 2.0 / 5.0);
+}
+
 }  // namespace
 }  // namespace seg
