@@ -44,7 +44,9 @@ BENCHMARK(BM_Flip)->Arg(2)->Arg(4)->Arg(10);
 
 void BM_GlauberRun(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  seg::ModelParams params{.n = n, .w = 2, .tau = 0.45, .p = 0.5};
+  const int w = static_cast<int>(state.range(1));
+  seg::ModelParams params{.n = n, .w = w, .tau = 0.45, .p = 0.5};
+  std::uint64_t flips = 0;
   for (auto _ : state) {
     state.PauseTiming();
     seg::Rng init(3);
@@ -53,9 +55,15 @@ void BM_GlauberRun(benchmark::State& state) {
     state.ResumeTiming();
     const seg::RunResult r = seg::run_glauber(model, dyn);
     benchmark::DoNotOptimize(r.flips);
+    flips += r.flips;
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flips));
 }
-BENCHMARK(BM_GlauberRun)->Arg(64)->Arg(128);
+BENCHMARK(BM_GlauberRun)
+    ->Args({64, 2})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({128, 10});
 
 void BM_BoxSum(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

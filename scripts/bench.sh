@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Emits BENCH_core.json at the repo root: the core hot-path benchmarks
+# (BM_Flip and BM_GlauberRun at w in {2, 4, 10}) in Google Benchmark's
+# JSON format, annotated with the seed-implementation baselines so the
+# perf trajectory — and the speedup over the pre-lattice-engine code —
+# is tracked PR over PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+repo=$(pwd)
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j --target perf_core >/dev/null
+
+if [[ ! -x build/perf_core ]]; then
+  echo "perf_core was not built (is Google Benchmark installed?)" >&2
+  exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+(cd "$tmp" && "$repo/build/perf_core" \
+    --benchmark_filter='^BM_(Flip|GlauberRun)' \
+    --benchmark_format=json >raw.json)
+
+python3 - "$tmp/raw.json" "$repo/BENCH_core.json" <<'EOF'
+import json
+import sys
+
+raw = json.load(open(sys.argv[1]))
+# Pre-lattice-engine (seed) timings for the same workloads, measured at
+# the start of the unified-engine PR on the reference container. The
+# engine PR's acceptance bar is >= 3x on BM_Flip/10.
+seed_ns = {
+    "BM_Flip/2": 1020.0,
+    "BM_Flip/4": 2643.0,
+    "BM_Flip/10": 9309.0,
+    "BM_GlauberRun/64/2": 724903.0,
+    "BM_GlauberRun/128/2": 2806754.0,
+}
+for bench in raw.get("benchmarks", []):
+    baseline = seed_ns.get(bench.get("name", ""))
+    if baseline is not None and bench.get("real_time"):
+        bench["seed_baseline_ns"] = baseline
+        bench["speedup_vs_seed"] = round(baseline / bench["real_time"], 2)
+json.dump(raw, open(sys.argv[2], "w"), indent=1)
+print(f"wrote {sys.argv[2]}")
+EOF

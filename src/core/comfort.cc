@@ -2,9 +2,30 @@
 
 #include <cassert>
 
-#include "grid/box_sum.h"
+#include "grid/torus_grid.h"
 
 namespace seg {
+
+BinarySpinEngine ComfortModel::make_engine(const ComfortParams& params,
+                                           std::vector<std::int8_t> spins) {
+  assert(params.valid());
+  const int N = params.neighborhood_size();
+  const int k_lo = params.k_lo();
+  const int k_hi = params.k_hi();
+  // Single set: flippable == unhappy AND the flip lands inside the band.
+  MembershipTable table(N, [&](bool plus, int count) -> std::uint8_t {
+    const int same = plus ? count : N - count;
+    const bool happy = same >= k_lo && same <= k_hi;
+    if (happy) return 0;
+    const int after = N - same + 1;
+    return (after >= k_lo && after <= k_hi) ? (1u << kFlippableSet) : 0;
+  });
+  return BinarySpinEngine(params.n, params.w, /*dense_window=*/true,
+                          neighborhood_offsets(NeighborhoodShape::kMoore,
+                                               params.w),
+                          std::move(spins), std::move(table),
+                          /*set_count=*/1);
+}
 
 ComfortModel::ComfortModel(const ComfortParams& params, Rng& rng)
     : ComfortModel(params, random_spins(params.n, params.p, rng)) {}
@@ -15,37 +36,21 @@ ComfortModel::ComfortModel(const ComfortParams& params,
       N_(params.neighborhood_size()),
       k_lo_(params.k_lo()),
       k_hi_(params.k_hi()),
-      spins_(std::move(spins)),
-      plus_count_(spins_.size(), 0),
-      flippable_(spins_.size()) {
-  assert(params_.valid());
-  assert(spins_.size() ==
-         static_cast<std::size_t>(params_.n) * params_.n);
-  std::vector<std::int32_t> plus_indicator(spins_.size());
-  for (std::size_t i = 0; i < spins_.size(); ++i) {
-    assert(spins_[i] == 1 || spins_[i] == -1);
-    plus_indicator[i] = spins_[i] > 0 ? 1 : 0;
-  }
-  plus_count_ = box_sum_torus(plus_indicator, params_.n, params_.w);
-  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
-    refresh_membership(id);
-  }
-}
+      engine_(make_engine(params, std::move(spins))) {}
 
 std::int8_t ComfortModel::spin_at(int x, int y) const {
-  return spins_[static_cast<std::size_t>(torus_wrap(y, params_.n)) *
-                    params_.n +
-                torus_wrap(x, params_.n)];
+  return spins()[static_cast<std::size_t>(torus_wrap(y, params_.n)) *
+                     params_.n +
+                 torus_wrap(x, params_.n)];
 }
 
 std::uint32_t ComfortModel::id_of(int x, int y) const {
-  return static_cast<std::uint32_t>(
-      static_cast<std::size_t>(torus_wrap(y, params_.n)) * params_.n +
-      torus_wrap(x, params_.n));
+  return engine_.geometry().id_of(x, y);
 }
 
 std::int32_t ComfortModel::same_count(std::uint32_t id) const {
-  return spins_[id] > 0 ? plus_count_[id] : N_ - plus_count_[id];
+  return spin(id) > 0 ? engine_.plus_count(id)
+                      : N_ - engine_.plus_count(id);
 }
 
 bool ComfortModel::is_happy(std::uint32_t id) const {
@@ -58,37 +63,9 @@ bool ComfortModel::flip_makes_happy(std::uint32_t id) const {
   return after >= k_lo_ && after <= k_hi_;
 }
 
-void ComfortModel::refresh_membership(std::uint32_t id) {
-  if (is_flippable(id)) {
-    flippable_.insert(id);
-  } else {
-    flippable_.erase(id);
-  }
-}
-
-void ComfortModel::flip(std::uint32_t id) {
-  const std::int8_t old_spin = spins_[id];
-  spins_[id] = static_cast<std::int8_t>(-old_spin);
-  const std::int32_t delta = old_spin > 0 ? -1 : +1;
-  const int n = params_.n;
-  const int w = params_.w;
-  const int cx = static_cast<int>(id % n);
-  const int cy = static_cast<int>(id / n);
-  for (int dy = -w; dy <= w; ++dy) {
-    const std::size_t row =
-        static_cast<std::size_t>(torus_wrap(cy + dy, n)) * n;
-    for (int dx = -w; dx <= w; ++dx) {
-      const std::uint32_t j =
-          static_cast<std::uint32_t>(row + torus_wrap(cx + dx, n));
-      plus_count_[j] += delta;
-      refresh_membership(j);
-    }
-  }
-}
-
 std::size_t ComfortModel::count_unhappy() const {
   std::size_t unhappy = 0;
-  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
+  for (std::uint32_t id = 0; id < agent_count(); ++id) {
     unhappy += !is_happy(id);
   }
   return unhappy;
@@ -96,23 +73,13 @@ std::size_t ComfortModel::count_unhappy() const {
 
 double ComfortModel::happy_fraction() const {
   return 1.0 - static_cast<double>(count_unhappy()) /
-                   static_cast<double>(spins_.size());
+                   static_cast<double>(agent_count());
 }
 
 bool ComfortModel::check_invariants() const {
-  const int n = params_.n;
-  const int w = params_.w;
-  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
-    std::int32_t plus = 0;
-    const int cx = static_cast<int>(id % n);
-    const int cy = static_cast<int>(id / n);
-    for (int dy = -w; dy <= w; ++dy) {
-      for (int dx = -w; dx <= w; ++dx) {
-        plus += spin_at(cx + dx, cy + dy) > 0 ? 1 : 0;
-      }
-    }
-    if (plus != plus_count_[id]) return false;
-    if (flippable_.contains(id) != is_flippable(id)) return false;
+  if (!engine_.check_invariants()) return false;
+  for (std::uint32_t id = 0; id < agent_count(); ++id) {
+    if (flippable_set().contains(id) != is_flippable(id)) return false;
   }
   return true;
 }

@@ -4,7 +4,11 @@
 // many agree. Here an agent is happy iff its same-type fraction lies in a
 // comfort band [tau_lo, tau_hi]; it flips (when its Poisson clock rings)
 // iff it is unhappy and the flip lands it inside the band. tau_hi = 1
-// recovers the paper's model exactly.
+// recovers the paper's model exactly — the golden-seed tests pin the
+// flip-for-flip equivalence with SchellingModel.
+//
+// A thin policy over lattice::BinarySpinEngine: only the band membership
+// code differs from the baseline model.
 //
 // Unlike the baseline, this dynamics has no Lyapunov function (a flip can
 // reduce aggregate same-type counts), so absorption is not guaranteed;
@@ -18,6 +22,7 @@
 #include "core/model.h"
 #include "core/params.h"
 #include "grid/point.h"
+#include "lattice/engine.h"
 #include "rng/rng.h"
 
 namespace seg {
@@ -49,17 +54,19 @@ struct ComfortParams {
 
 class ComfortModel {
  public:
+  static constexpr int kFlippableSet = 0;
+
   ComfortModel(const ComfortParams& params, Rng& rng);
   ComfortModel(const ComfortParams& params, std::vector<std::int8_t> spins);
 
   const ComfortParams& params() const { return params_; }
   int side() const { return params_.n; }
   int neighborhood_size() const { return N_; }
-  std::size_t agent_count() const { return spins_.size(); }
+  std::size_t agent_count() const { return engine_.size(); }
 
-  std::int8_t spin(std::uint32_t id) const { return spins_[id]; }
+  std::int8_t spin(std::uint32_t id) const { return engine_.spin(id); }
   std::int8_t spin_at(int x, int y) const;
-  const std::vector<std::int8_t>& spins() const { return spins_; }
+  const std::vector<std::int8_t>& spins() const { return engine_.spins(); }
   std::uint32_t id_of(int x, int y) const;
 
   std::int32_t same_count(std::uint32_t id) const;
@@ -69,25 +76,26 @@ class ComfortModel {
     return !is_happy(id) && flip_makes_happy(id);
   }
 
-  const AgentSet& flippable_set() const { return flippable_; }
-  bool quiescent() const { return flippable_.empty(); }
+  const AgentSet& flippable_set() const {
+    return engine_.set(kFlippableSet);
+  }
+  bool quiescent() const { return flippable_set().empty(); }
   std::size_t count_unhappy() const;
   double happy_fraction() const;
 
-  void flip(std::uint32_t id);
+  void flip(std::uint32_t id) { engine_.flip(id); }
 
   bool check_invariants() const;
 
  private:
-  void refresh_membership(std::uint32_t id);
+  static BinarySpinEngine make_engine(const ComfortParams& params,
+                                      std::vector<std::int8_t> spins);
 
   ComfortParams params_;
   int N_;
   int k_lo_;
   int k_hi_;
-  std::vector<std::int8_t> spins_;
-  std::vector<std::int32_t> plus_count_;
-  AgentSet flippable_;
+  BinarySpinEngine engine_;
 };
 
 struct ComfortRunResult {

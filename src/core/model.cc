@@ -2,33 +2,9 @@
 
 #include <cassert>
 
-#include "grid/box_sum.h"
 #include "grid/torus_grid.h"
 
 namespace seg {
-
-void AgentSet::insert(std::uint32_t id) {
-  assert(id < pos_.size());
-  if (pos_[id] != kAbsent) return;
-  pos_[id] = static_cast<std::uint32_t>(items_.size());
-  items_.push_back(id);
-}
-
-void AgentSet::erase(std::uint32_t id) {
-  assert(id < pos_.size());
-  const std::uint32_t p = pos_[id];
-  if (p == kAbsent) return;
-  const std::uint32_t last = items_.back();
-  items_[p] = last;
-  pos_[last] = p;
-  items_.pop_back();
-  pos_[id] = kAbsent;
-}
-
-std::uint32_t AgentSet::sample(Rng& rng) const {
-  assert(!items_.empty());
-  return items_[rng.uniform_below(items_.size())];
-}
 
 std::vector<Point> neighborhood_offsets(NeighborhoodShape shape, int w) {
   std::vector<Point> offsets;
@@ -50,6 +26,32 @@ std::vector<std::int8_t> random_spins(int n, double p, Rng& rng) {
   return spins;
 }
 
+BinarySpinEngine SchellingModel::make_engine(const ModelParams& params,
+                                            std::vector<std::int8_t> spins) {
+  assert(params.valid());
+  const int N = params.neighborhood_size();
+  const int k_plus = params.happy_threshold_of(+1);
+  const int k_minus = params.happy_threshold_of(-1);
+  // Membership code from (spin, +1-count): bit kUnhappySet if the agent is
+  // unhappy, bit kFlippableSet if additionally the flip would make it
+  // happy under its *new* type's threshold.
+  MembershipTable table(N, [&](bool plus, int count) -> std::uint8_t {
+    const int same = plus ? count : N - count;
+    const int threshold = plus ? k_plus : k_minus;
+    if (same >= threshold) return 0;
+    const int after = N - same + 1;
+    const int other_threshold = plus ? k_minus : k_plus;
+    std::uint8_t code = 1u << kUnhappySet;
+    if (after >= other_threshold) code |= 1u << kFlippableSet;
+    return code;
+  });
+  return BinarySpinEngine(params.n, params.w,
+                          params.shape == NeighborhoodShape::kMoore,
+                          neighborhood_offsets(params.shape, params.w),
+                          std::move(spins), std::move(table),
+                          /*set_count=*/2);
+}
+
 SchellingModel::SchellingModel(const ModelParams& params, Rng& rng)
     : SchellingModel(params, random_spins(params.n, params.p, rng)) {}
 
@@ -59,68 +61,24 @@ SchellingModel::SchellingModel(const ModelParams& params,
       N_(params.neighborhood_size()),
       k_plus_(params.happy_threshold_of(+1)),
       k_minus_(params.happy_threshold_of(-1)),
-      offsets_(neighborhood_offsets(params.shape, params.w)),
-      spins_(std::move(spins)),
-      plus_count_(spins_.size(), 0),
-      unhappy_(spins_.size()),
-      flippable_(spins_.size()) {
-  assert(params_.valid());
-  assert(spins_.size() ==
-         static_cast<std::size_t>(params_.n) * params_.n);
-  init_counts_and_sets();
-}
-
-void SchellingModel::init_counts_and_sets() {
-  // 0/1 indicator of +1 spins.
-  std::vector<std::int32_t> plus_indicator(spins_.size());
-  for (std::size_t i = 0; i < spins_.size(); ++i) {
-    assert(spins_[i] == 1 || spins_[i] == -1);
-    plus_indicator[i] = spins_[i] > 0 ? 1 : 0;
-  }
-  if (params_.shape == NeighborhoodShape::kMoore) {
-    // Fast path: separable sliding-window box sum, O(n^2).
-    plus_count_ = box_sum_torus(plus_indicator, params_.n, params_.w);
-  } else {
-    // Generic stencil: one cache-friendly shifted-add pass per offset,
-    // O(n^2 N) at construction only.
-    const int n = params_.n;
-    std::fill(plus_count_.begin(), plus_count_.end(), 0);
-    for (const Point o : offsets_) {
-      for (int y = 0; y < n; ++y) {
-        const std::size_t src_row =
-            static_cast<std::size_t>(torus_wrap(y + o.y, n)) * n;
-        std::int32_t* dst =
-            plus_count_.data() + static_cast<std::size_t>(y) * n;
-        for (int x = 0; x < n; ++x) {
-          dst[x] += plus_indicator[src_row + torus_wrap(x + o.x, n)];
-        }
-      }
-    }
-  }
-  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
-    refresh_membership(id);
-  }
-}
+      engine_(make_engine(params, std::move(spins))) {}
 
 std::int8_t SchellingModel::spin_at(int x, int y) const {
-  return spins_[static_cast<std::size_t>(torus_wrap(y, params_.n)) *
-                    params_.n +
-                torus_wrap(x, params_.n)];
+  return spins()[static_cast<std::size_t>(torus_wrap(y, params_.n)) *
+                     params_.n +
+                 torus_wrap(x, params_.n)];
 }
 
 std::uint32_t SchellingModel::id_of(int x, int y) const {
-  return static_cast<std::uint32_t>(
-      static_cast<std::size_t>(torus_wrap(y, params_.n)) * params_.n +
-      torus_wrap(x, params_.n));
+  return engine_.geometry().id_of(x, y);
 }
 
 Point SchellingModel::point_of(std::uint32_t id) const {
-  return Point{static_cast<int>(id % params_.n),
-               static_cast<int>(id / params_.n)};
+  return engine_.geometry().point_of(id);
 }
 
 std::int32_t SchellingModel::same_count(std::uint32_t id) const {
-  return spins_[id] > 0 ? plus_count_[id] : N_ - plus_count_[id];
+  return spin(id) > 0 ? plus_count(id) : N_ - plus_count(id);
 }
 
 bool SchellingModel::flip_makes_happy(std::uint32_t id) const {
@@ -128,77 +86,33 @@ bool SchellingModel::flip_makes_happy(std::uint32_t id) const {
   // (opposite-type count before) + 1 = N - same_count + 1, and the
   // relevant threshold is the one of its *new* type.
   return N_ - same_count(id) + 1 >=
-         happy_threshold_of(static_cast<std::int8_t>(-spins_[id]));
-}
-
-void SchellingModel::refresh_membership(std::uint32_t id) {
-  if (is_happy(id)) {
-    unhappy_.erase(id);
-    flippable_.erase(id);
-    return;
-  }
-  unhappy_.insert(id);
-  if (flip_makes_happy(id)) {
-    flippable_.insert(id);
-  } else {
-    flippable_.erase(id);
-  }
-}
-
-void SchellingModel::flip(std::uint32_t id) {
-  const std::int8_t old_spin = spins_[id];
-  spins_[id] = static_cast<std::int8_t>(-old_spin);
-  const std::int32_t delta = old_spin > 0 ? -1 : +1;
-
-  const int n = params_.n;
-  const int cx = static_cast<int>(id % n);
-  const int cy = static_cast<int>(id / n);
-
-  // Both stencils are symmetric, so exactly the agents whose neighborhood
-  // contains `id` are the stencil translates of `id`: their +1 count
-  // shifts by delta and their classification may change.
-  for (const Point o : offsets_) {
-    const std::uint32_t j = static_cast<std::uint32_t>(
-        static_cast<std::size_t>(torus_wrap(cy + o.y, n)) * n +
-        torus_wrap(cx + o.x, n));
-    plus_count_[j] += delta;
-    refresh_membership(j);
-  }
+         happy_threshold_of(static_cast<std::int8_t>(-spin(id)));
 }
 
 std::int64_t SchellingModel::lyapunov() const {
   std::int64_t sum = 0;
-  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
+  for (std::uint32_t id = 0; id < agent_count(); ++id) {
     sum += same_count(id);
   }
   return sum;
 }
 
 double SchellingModel::happy_fraction() const {
-  return 1.0 - static_cast<double>(unhappy_.size()) /
-                   static_cast<double>(spins_.size());
+  return 1.0 - static_cast<double>(unhappy_set().size()) /
+                   static_cast<double>(agent_count());
 }
 
 double SchellingModel::plus_fraction() const {
   std::size_t plus = 0;
-  for (const auto s : spins_) plus += (s > 0);
-  return static_cast<double>(plus) / static_cast<double>(spins_.size());
+  for (const auto s : spins()) plus += (s > 0);
+  return static_cast<double>(plus) / static_cast<double>(agent_count());
 }
 
 bool SchellingModel::check_invariants() const {
-  const int n = params_.n;
-  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
-    if (spins_[id] != 1 && spins_[id] != -1) return false;
-    // Recount the neighborhood from scratch.
-    std::int32_t plus = 0;
-    const int cx = static_cast<int>(id % n);
-    const int cy = static_cast<int>(id / n);
-    for (const Point o : offsets_) {
-      plus += spin_at(cx + o.x, cy + o.y) > 0 ? 1 : 0;
-    }
-    if (plus != plus_count_[id]) return false;
-    if (unhappy_.contains(id) != is_unhappy(id)) return false;
-    if (flippable_.contains(id) != is_flippable(id)) return false;
+  if (!engine_.check_invariants()) return false;
+  for (std::uint32_t id = 0; id < agent_count(); ++id) {
+    if (unhappy_set().contains(id) != is_unhappy(id)) return false;
+    if (flippable_set().contains(id) != is_flippable(id)) return false;
   }
   return true;
 }

@@ -1,6 +1,9 @@
 // The Schelling model state: spins, incrementally-maintained neighbor
 // counts, and the happy / unhappy / flippable classification of every
-// agent (paper Sec. II-A).
+// agent (paper Sec. II-A). A thin policy over lattice::BinarySpinEngine —
+// this file defines only the thresholds and the membership code; storage,
+// window iteration, and threshold-crossing set maintenance live in
+// src/lattice/.
 //
 // Invariants maintained after construction and after every flip():
 //  * plus_count(i) == number of +1 spins in the l-infinity ball of radius
@@ -19,36 +22,18 @@
 
 #include "core/params.h"
 #include "grid/point.h"
+#include "lattice/agent_set.h"
+#include "lattice/engine.h"
 #include "rng/rng.h"
 
 namespace seg {
 
-// An O(1) insert/erase/sample index set over agent ids, used for the
-// unhappy and flippable sets. Sampling must be uniform for the dynamics
-// to realize the Poisson-clock law.
-class AgentSet {
- public:
-  explicit AgentSet(std::size_t capacity) : pos_(capacity, kAbsent) {}
-
-  bool contains(std::uint32_t id) const { return pos_[id] != kAbsent; }
-  std::size_t size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
-
-  void insert(std::uint32_t id);
-  void erase(std::uint32_t id);
-
-  std::uint32_t sample(Rng& rng) const;
-  std::uint32_t at(std::size_t i) const { return items_[i]; }
-  const std::vector<std::uint32_t>& items() const { return items_; }
-
- private:
-  static constexpr std::uint32_t kAbsent = 0xffffffffu;
-  std::vector<std::uint32_t> items_;
-  std::vector<std::uint32_t> pos_;
-};
-
 class SchellingModel {
  public:
+  // Engine set indices.
+  static constexpr int kUnhappySet = 0;
+  static constexpr int kFlippableSet = 1;
+
   // Random Bernoulli(p) initial configuration.
   SchellingModel(const ModelParams& params, Rng& rng);
 
@@ -65,22 +50,24 @@ class SchellingModel {
   int happy_threshold_of(std::int8_t type) const {
     return type > 0 ? k_plus_ : k_minus_;
   }
-  std::size_t agent_count() const { return spins_.size(); }
+  std::size_t agent_count() const { return engine_.size(); }
 
-  std::int8_t spin(std::uint32_t id) const { return spins_[id]; }
+  std::int8_t spin(std::uint32_t id) const { return engine_.spin(id); }
   std::int8_t spin_at(int x, int y) const;
-  const std::vector<std::int8_t>& spins() const { return spins_; }
+  const std::vector<std::int8_t>& spins() const { return engine_.spins(); }
 
   std::uint32_t id_of(int x, int y) const;
   Point point_of(std::uint32_t id) const;
 
   // Count of +1 spins in the neighborhood of agent id (self included).
-  std::int32_t plus_count(std::uint32_t id) const { return plus_count_[id]; }
+  std::int32_t plus_count(std::uint32_t id) const {
+    return engine_.plus_count(id);
+  }
   // Count of agents sharing id's type in its neighborhood (self included).
   std::int32_t same_count(std::uint32_t id) const;
 
   bool is_happy(std::uint32_t id) const {
-    return same_count(id) >= happy_threshold_of(spins_[id]);
+    return same_count(id) >= happy_threshold_of(spin(id));
   }
   bool is_unhappy(std::uint32_t id) const { return !is_happy(id); }
   // Would flipping make the agent happy? (N - same + 1 >= K after flip.)
@@ -89,24 +76,27 @@ class SchellingModel {
     return is_unhappy(id) && flip_makes_happy(id);
   }
 
-  const AgentSet& unhappy_set() const { return unhappy_; }
-  const AgentSet& flippable_set() const { return flippable_; }
+  const AgentSet& unhappy_set() const { return engine_.set(kUnhappySet); }
+  const AgentSet& flippable_set() const {
+    return engine_.set(kFlippableSet);
+  }
 
-  // Flips the spin of `id` and restores all invariants. O(N) work.
+  // Flips the spin of `id` and restores all invariants in one window
+  // pass; set updates fire only on threshold crossings.
   // Unconditional: dynamics engines only call it on flippable agents, but
   // the firewall/adversarial experiments may force arbitrary flips.
-  void flip(std::uint32_t id);
+  void flip(std::uint32_t id) { engine_.flip(id); }
 
   // Paper's termination certificate: the process has stopped when no
   // unhappy agent can become happy by flipping.
-  bool terminated() const { return flippable_.empty(); }
+  bool terminated() const { return flippable_set().empty(); }
 
   // Lyapunov function of Sec. II-A ("Termination"): sum over all agents of
   // their same-type neighbor count. Strictly increases with every flip of
   // a flippable agent. O(n^2) to evaluate.
   std::int64_t lyapunov() const;
 
-  std::size_t count_unhappy() const { return unhappy_.size(); }
+  std::size_t count_unhappy() const { return unhappy_set().size(); }
   // Fraction of agents currently happy.
   double happy_fraction() const;
   // Fraction of +1 agents.
@@ -116,21 +106,17 @@ class SchellingModel {
   bool check_invariants() const;
 
   // The neighborhood's offset stencil (includes (0,0)); size == N.
-  const std::vector<Point>& offsets() const { return offsets_; }
+  const std::vector<Point>& offsets() const { return engine_.offsets(); }
 
  private:
-  void init_counts_and_sets();
-  void refresh_membership(std::uint32_t id);
+  static BinarySpinEngine make_engine(const ModelParams& params,
+                                      std::vector<std::int8_t> spins);
 
   ModelParams params_;
   int N_;        // neighborhood size
   int k_plus_;   // happiness threshold for +1 agents
   int k_minus_;  // happiness threshold for -1 agents
-  std::vector<Point> offsets_;
-  std::vector<std::int8_t> spins_;
-  std::vector<std::int32_t> plus_count_;
-  AgentSet unhappy_;
-  AgentSet flippable_;
+  BinarySpinEngine engine_;
 };
 
 // Offset stencil for a shape/horizon pair, (0,0) included.

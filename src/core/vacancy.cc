@@ -1,8 +1,10 @@
 #include "core/vacancy.h"
 
 #include <cassert>
+#include <cmath>
 
 #include "grid/box_sum.h"
+#include "lattice/window.h"
 
 namespace seg {
 
@@ -29,11 +31,20 @@ VacancyModel::VacancyModel(const VacancyParams& params,
       sites_(std::move(sites)),
       plus_count_(sites_.size(), 0),
       occ_count_(sites_.size(), 0),
+      min_same_(static_cast<std::size_t>(N_), 0),
+      in_unhappy_(sites_.size(), 0),
       unhappy_(sites_.size()),
       vacant_(sites_.size()) {
   assert(params_.valid());
   assert(sites_.size() ==
          static_cast<std::size_t>(params_.n) * params_.n);
+  // min_same_[o] = ceil of the double product tau * o: the smallest
+  // integer s with (double)s >= tau * (double)o, i.e. exactly the legacy
+  // floating-point happiness comparison folded into an integer table.
+  for (int o = 0; o < N_; ++o) {
+    min_same_[o] = static_cast<std::int32_t>(
+        std::ceil(params_.tau * static_cast<double>(o)));
+  }
   std::vector<std::int32_t> plus_indicator(sites_.size());
   std::vector<std::int32_t> occ_indicator(sites_.size());
   for (std::size_t i = 0; i < sites_.size(); ++i) {
@@ -45,7 +56,10 @@ VacancyModel::VacancyModel(const VacancyParams& params,
   occ_count_ = box_sum_torus(occ_indicator, params_.n, params_.w);
   for (std::uint32_t id = 0; id < sites_.size(); ++id) {
     if (!occupied(id)) vacant_.insert(id);
-    refresh_membership(id);
+    if (unhappy_from_tallies(sites_[id], plus_count_[id], occ_count_[id])) {
+      unhappy_.insert(id);
+      in_unhappy_[id] = 1;
+    }
   }
 }
 
@@ -61,16 +75,18 @@ std::uint32_t VacancyModel::id_of(int x, int y) const {
       torus_wrap(x, params_.n));
 }
 
+bool VacancyModel::unhappy_from_tallies(std::int8_t site, std::int32_t plus,
+                                        std::int32_t occ) const {
+  if (site == 0) return false;
+  const std::int32_t occupied_others = occ - 1;
+  if (occupied_others == 0) return false;  // isolated agents are content
+  const std::int32_t same_others = (site > 0 ? plus : occ - plus) - 1;
+  return same_others < min_same_[occupied_others];
+}
+
 bool VacancyModel::is_happy(std::uint32_t id) const {
   assert(occupied(id));
-  // Exclude the agent itself from both tallies.
-  const std::int32_t occupied_others = occ_count_[id] - 1;
-  if (occupied_others == 0) return true;  // isolated agents are content
-  const std::int32_t same_others =
-      (sites_[id] > 0 ? plus_count_[id] : occ_count_[id] - plus_count_[id]) -
-      1;
-  return static_cast<double>(same_others) >=
-         params_.tau * static_cast<double>(occupied_others);
+  return !unhappy_from_tallies(sites_[id], plus_count_[id], occ_count_[id]);
 }
 
 bool VacancyModel::would_be_happy(std::int8_t type, std::uint32_t at) const {
@@ -85,40 +101,36 @@ bool VacancyModel::would_be_happy(std::int8_t type, std::uint32_t at) const {
   std::int32_t same_others =
       type > 0 ? plus_count_[at] : occ_count_[at] - plus_count_[at];
   if (self_occupied && sites_[at] == type) --same_others;
-  return static_cast<double>(same_others) >=
-         params_.tau * static_cast<double>(occupied_others);
+  return same_others >= min_same_[occupied_others];
 }
 
 void VacancyModel::apply_site_delta(std::uint32_t id, std::int8_t type,
                                     int sign) {
   const int n = params_.n;
-  const int w = params_.w;
-  const int cx = static_cast<int>(id % n);
-  const int cy = static_cast<int>(id / n);
   const std::int32_t plus_delta = (type > 0 ? 1 : 0) * sign;
-  for (int dy = -w; dy <= w; ++dy) {
-    const std::size_t row =
-        static_cast<std::size_t>(torus_wrap(cy + dy, n)) * n;
-    for (int dx = -w; dx <= w; ++dx) {
-      const std::uint32_t j =
-          static_cast<std::uint32_t>(row + torus_wrap(cx + dx, n));
-      occ_count_[j] += sign;
-      plus_count_[j] += plus_delta;
-      refresh_membership(j);
-    }
-  }
-}
-
-void VacancyModel::refresh_membership(std::uint32_t id) {
-  if (!occupied(id)) {
-    unhappy_.erase(id);
-    return;
-  }
-  if (is_happy(id)) {
-    unhappy_.erase(id);
-  } else {
-    unhappy_.insert(id);
-  }
+  for_each_window_span(
+      static_cast<int>(id % n), static_cast<int>(id / n), params_.w, n,
+      [&](std::size_t base, int len) {
+        std::int32_t* occ = occ_count_.data() + base;
+        std::int32_t* plus = plus_count_.data() + base;
+        const std::int8_t* site = sites_.data() + base;
+        std::uint8_t* member = in_unhappy_.data() + base;
+        for (int i = 0; i < len; ++i) {
+          occ[i] += sign;
+          plus[i] += plus_delta;
+          const std::uint8_t want =
+              unhappy_from_tallies(site[i], plus[i], occ[i]) ? 1 : 0;
+          if (want != member[i]) {
+            const auto j = static_cast<std::uint32_t>(base + i);
+            if (want) {
+              unhappy_.insert(j);
+            } else {
+              unhappy_.erase(j);
+            }
+            member[i] = want;
+          }
+        }
+      });
 }
 
 void VacancyModel::move(std::uint32_t from, std::uint32_t to) {
@@ -126,9 +138,8 @@ void VacancyModel::move(std::uint32_t from, std::uint32_t to) {
   assert(!occupied(to));
   const std::int8_t type = sites_[from];
   sites_[from] = 0;
-  apply_site_delta(from, type, -1);
+  apply_site_delta(from, type, -1);  // also drops `from` from unhappy_
   vacant_.insert(from);
-  unhappy_.erase(from);
 
   sites_[to] = type;
   vacant_.erase(to);
@@ -187,10 +198,20 @@ bool VacancyModel::check_invariants() const {
     }
     if (plus != plus_count_[id] || occ != occ_count_[id]) return false;
     if (vacant_.contains(id) != !occupied(id)) return false;
+    const bool want =
+        unhappy_from_tallies(sites_[id], plus_count_[id], occ_count_[id]);
+    if (in_unhappy_[id] != (want ? 1 : 0)) return false;
+    if (unhappy_.contains(id) != want) return false;
     if (occupied(id)) {
-      if (unhappy_.contains(id) != !is_happy(id)) return false;
-    } else if (unhappy_.contains(id)) {
-      return false;
+      // The table must agree with the direct floating-point rule.
+      const std::int32_t occupied_others = occ - 1;
+      const std::int32_t same_others =
+          (sites_[id] > 0 ? plus : occ - plus) - 1;
+      const bool direct_happy =
+          occupied_others == 0 ||
+          static_cast<double>(same_others) >=
+              params_.tau * static_cast<double>(occupied_others);
+      if (direct_happy != !want) return false;
     }
   }
   return true;

@@ -8,13 +8,18 @@
 // Happiness follows Schelling's convention: the fraction of same-type
 // agents among the *occupied other* sites of the neighborhood must be at
 // least tau; an agent with no occupied neighbors is happy.
+//
+// Built on the lattice layer: window updates walk contiguous row spans
+// (lattice/window.h), and the unhappy-set refresh is driven by a per-site
+// membership byte plus a precomputed integer threshold table — only sites
+// whose (same, occupied) tallies cross the tau boundary touch the set.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "core/model.h"
 #include "grid/point.h"
+#include "lattice/agent_set.h"
 #include "rng/rng.h"
 
 namespace seg {
@@ -74,7 +79,8 @@ class VacancyModel {
   std::size_t count_unhappy() const { return unhappy_.size(); }
   double happy_fraction() const;
 
-  // Moves the agent at `from` to the vacant site `to`. O(N).
+  // Moves the agent at `from` to the vacant site `to`. One span pass per
+  // endpoint window.
   void move(std::uint32_t from, std::uint32_t to);
 
   // Exact absorption test: no unhappy agent has any vacancy where it
@@ -88,14 +94,20 @@ class VacancyModel {
   bool check_invariants() const;
 
  private:
-  void refresh_membership(std::uint32_t id);
   void apply_site_delta(std::uint32_t id, std::int8_t type, int sign);
+  bool unhappy_from_tallies(std::int8_t site, std::int32_t plus,
+                            std::int32_t occ) const;
 
   VacancyParams params_;
   int N_;
   std::vector<std::int8_t> sites_;
   std::vector<std::int32_t> plus_count_;  // +1 agents in ball, self incl.
   std::vector<std::int32_t> occ_count_;   // occupied sites in ball
+  // min_same_[o] = smallest same-others tally that is happy among o
+  // occupied others — the integer form of `same >= tau * o` under the
+  // legacy double comparison, so trajectories match bit for bit.
+  std::vector<std::int32_t> min_same_;
+  std::vector<std::uint8_t> in_unhappy_;  // membership byte per site
   AgentSet unhappy_;
   AgentSet vacant_;
 };

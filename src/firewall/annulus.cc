@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "lattice/halo_field.h"
 #include "theory/bounds.h"
 
 namespace seg {
@@ -66,6 +67,9 @@ FirewallCertificate firewall_certificate(Point center, double r, int w,
 
   FirewallCertificate cert;
   cert.min_margin = N;  // upper bound; tightened below
+  // Every annulus site windows over the same zone map: snapshot it into a
+  // halo-padded copy so the inner scan reads contiguous wrap-free rows.
+  const HaloField<Zone> padded(zones, n, w);
   for (int y = 0; y < n; ++y) {
     for (int x = 0; x < n; ++x) {
       if (zones[static_cast<std::size_t>(y) * n + x] != Zone::kAnnulus) {
@@ -74,14 +78,11 @@ FirewallCertificate firewall_certificate(Point center, double r, int w,
       ++cert.annulus_size;
       // Worst case: only annulus + interior sites share the agent's type.
       int same = 0;
-      for (int dy = -w; dy <= w; ++dy) {
-        const std::size_t row =
-            static_cast<std::size_t>(torus_wrap(y + dy, n)) * n;
-        for (int dx = -w; dx <= w; ++dx) {
-          const Zone z = zones[row + torus_wrap(x + dx, n)];
-          same += (z != Zone::kExterior);
+      padded.for_each_window_row(x, y, w, [&](const Zone* row, int len) {
+        for (int i = 0; i < len; ++i) {
+          same += (row[i] != Zone::kExterior);
         }
-      }
+      });
       cert.min_margin = std::min(cert.min_margin, same - K);
     }
   }

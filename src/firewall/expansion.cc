@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "lattice/window.h"
+
 namespace seg {
 
 bool placement_makes_minus_unhappy(const SchellingModel& model,
@@ -14,13 +16,14 @@ bool placement_makes_minus_unhappy(const SchellingModel& model,
   // neighborhood that the block overwrites with (+1).
   const std::uint32_t id = model.id_of(agent.x, agent.y);
   std::int32_t same = model.same_count(id);
-  for (int dy = -w; dy <= w; ++dy) {
-    for (int dx = -w; dx <= w; ++dx) {
-      const Point p{agent.x + dx, agent.y + dy};
-      if (torus_linf(p, block_center, n) > block_r) continue;
-      if (model.spin_at(p.x, p.y) < 0) --same;
-    }
-  }
+  for_each_window_point(torus_wrap(agent.x, n), torus_wrap(agent.y, n), w, n,
+                        [&](int x, int y, std::uint32_t site) {
+                          if (torus_linf(Point{x, y}, block_center, n) >
+                              block_r) {
+                            return;
+                          }
+                          if (model.spin(site) < 0) --same;
+                        });
   // The agent itself is outside the block (callers place it on the
   // boundary ring), so its own contribution (+1 to same) is untouched.
   return same < model.happy_threshold_of(-1);
@@ -32,34 +35,34 @@ ExpansionRegionReport check_region_of_expansion(const SchellingModel& model,
   const int block_r = std::max(1, model.horizon() / 2);
   ExpansionRegionReport report;
   report.is_region_of_expansion = true;
-  for (int dy = -region_r; dy <= region_r; ++dy) {
-    for (int dx = -region_r; dx <= region_r; ++dx) {
-      const Point block_center{torus_wrap(center.x + dx, n),
-                               torus_wrap(center.y + dy, n)};
-      ++report.placements_tested;
-      // Boundary ring: sites at l-infinity distance exactly block_r + 1.
-      const int ring = block_r + 1;
-      bool placement_ok = true;
-      for (int by = -ring; by <= ring && placement_ok; ++by) {
-        for (int bx = -ring; bx <= ring; ++bx) {
-          if (std::max(std::abs(bx), std::abs(by)) != ring) continue;
-          const Point agent{torus_wrap(block_center.x + bx, n),
-                            torus_wrap(block_center.y + by, n)};
-          if (model.spin_at(agent.x, agent.y) >= 0) continue;  // only (-1)
-          if (!placement_makes_minus_unhappy(model, block_center, block_r,
-                                             agent)) {
-            placement_ok = false;
-            break;
+  for_each_window_point_until(
+      torus_wrap(center.x, n), torus_wrap(center.y, n), region_r, n,
+      [&](int bx, int by, std::uint32_t) {
+        const Point block_center{bx, by};
+        ++report.placements_tested;
+        // Boundary ring: sites at l-infinity distance exactly block_r + 1.
+        const int ring = block_r + 1;
+        bool placement_ok = true;
+        for (int ry = -ring; ry <= ring && placement_ok; ++ry) {
+          for (int rx = -ring; rx <= ring; ++rx) {
+            if (std::max(std::abs(rx), std::abs(ry)) != ring) continue;
+            const Point agent{torus_wrap(block_center.x + rx, n),
+                              torus_wrap(block_center.y + ry, n)};
+            if (model.spin_at(agent.x, agent.y) >= 0) continue;  // only (-1)
+            if (!placement_makes_minus_unhappy(model, block_center, block_r,
+                                               agent)) {
+              placement_ok = false;
+              break;
+            }
           }
         }
-      }
-      if (!placement_ok) {
-        report.is_region_of_expansion = false;
-        if (report.first_failure.x < 0) report.first_failure = block_center;
-        return report;
-      }
-    }
-  }
+        if (!placement_ok) {
+          report.is_region_of_expansion = false;
+          if (report.first_failure.x < 0) report.first_failure = block_center;
+          return false;  // stop at the first failing placement
+        }
+        return true;
+      });
   return report;
 }
 

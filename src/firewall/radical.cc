@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "lattice/halo_field.h"
+#include "lattice/window.h"
 #include "theory/bounds.h"
 #include "theory/exponents.h"
 
@@ -11,34 +13,45 @@ namespace seg {
 
 namespace {
 
-// Counts agents of type `type` in the radius-r ball around center.
+// Counts agents of type `type` in the radius-r ball around center, via
+// the shared window iteration (wrap-free row spans).
 std::int64_t count_type_in_ball(const SchellingModel& model, Point center,
                                 int r, std::int8_t type) {
+  const int n = model.side();
+  const std::int8_t* spins = model.spins().data();
   std::int64_t count = 0;
-  for (int dy = -r; dy <= r; ++dy) {
-    for (int dx = -r; dx <= r; ++dx) {
-      count += model.spin_at(center.x + dx, center.y + dy) == type;
-    }
-  }
+  for_each_window_span(torus_wrap(center.x, n), torus_wrap(center.y, n), r,
+                       n, [&](std::size_t base, int len) {
+                         for (int i = 0; i < len; ++i) {
+                           count += spins[base + i] == type;
+                         }
+                       });
   return count;
+}
+
+// The deflated-density bound of the radical-region test; `effective_tau`
+// is tau for tau < 1/2 and tau-bar for the super-radical variant.
+double radical_bound(const SchellingModel& model, const RadicalParams& params,
+                     double effective_tau, std::int64_t region_size) {
+  const int N = model.neighborhood_size();
+  const double deflated =
+      effective_tau *
+      (1.0 - 1.0 / (effective_tau *
+                    std::pow(static_cast<double>(N), 0.5 - params.eps)));
+  return deflated * static_cast<double>(region_size);
 }
 
 bool radical_test(const SchellingModel& model, Point center,
                   const RadicalParams& params, std::int8_t minority,
                   double effective_tau) {
   const int w = model.horizon();
-  const int N = model.neighborhood_size();
   const int rr = radical_region_radius(w, params.eps_prime);
   if (2 * rr + 1 > model.side()) return false;
   const std::int64_t region_size = neighborhood_size(rr);
-  const double deflated =
-      effective_tau *
-      (1.0 - 1.0 / (effective_tau *
-                    std::pow(static_cast<double>(N), 0.5 - params.eps)));
-  const double bound = deflated * static_cast<double>(region_size);
   const std::int64_t minority_count =
       count_type_in_ball(model, center, rr, minority);
-  return static_cast<double>(minority_count) < bound;
+  return static_cast<double>(minority_count) <
+         radical_bound(model, params, effective_tau, region_size);
 }
 
 }  // namespace
@@ -69,14 +82,31 @@ std::vector<Point> find_radical_regions(const SchellingModel& model,
                                         std::int8_t minority) {
   std::vector<Point> centers;
   const int n = model.side();
+  const int w = model.horizon();
+  const int rr = radical_region_radius(w, params.eps_prime);
+  if (2 * rr + 1 > n) return centers;
   const bool super = model.params().tau > 0.5;
+  const double effective_tau =
+      super ? tau_bar(model.params().tau, model.neighborhood_size())
+            : model.params().tau;
+  const double bound =
+      radical_bound(model, params, effective_tau, neighborhood_size(rr));
+  // Every one of the n^2 centers scans the same spin field: snapshot it
+  // once into a halo-padded copy so the per-center ball count reads
+  // contiguous rows with no wrapping.
+  const HaloField<std::int8_t> field(model.spins(), n, rr);
   for (int y = 0; y < n; ++y) {
     for (int x = 0; x < n; ++x) {
-      const Point c{x, y};
-      const bool hit = super
-                           ? is_super_radical_region(model, c, params, minority)
-                           : is_radical_region(model, c, params, minority);
-      if (hit) centers.push_back(c);
+      std::int64_t minority_count = 0;
+      field.for_each_window_row(x, y, rr,
+                                [&](const std::int8_t* row, int len) {
+                                  for (int i = 0; i < len; ++i) {
+                                    minority_count += row[i] == minority;
+                                  }
+                                });
+      if (static_cast<double>(minority_count) < bound) {
+        centers.push_back(Point{x, y});
+      }
     }
   }
   return centers;
@@ -85,20 +115,19 @@ std::vector<Point> find_radical_regions(const SchellingModel& model,
 NucleusCheck check_unhappy_nucleus(const SchellingModel& model, Point center,
                                    const RadicalParams& params,
                                    std::int8_t minority) {
+  const int n = model.side();
   const int w = model.horizon();
   const int N = model.neighborhood_size();
   const int nucleus_r =
       std::max(1, static_cast<int>(std::floor(params.eps_prime * w)));
   NucleusCheck check;
-  for (int dy = -nucleus_r; dy <= nucleus_r; ++dy) {
-    for (int dx = -nucleus_r; dx <= nucleus_r; ++dx) {
-      const Point p{center.x + dx, center.y + dy};
-      if (model.spin_at(p.x, p.y) != minority) continue;
-      ++check.minority_in_nucleus;
-      const std::uint32_t id = model.id_of(p.x, p.y);
-      if (model.is_unhappy(id)) ++check.unhappy_minority_in_nucleus;
-    }
-  }
+  for_each_window_point(
+      torus_wrap(center.x, n), torus_wrap(center.y, n), nucleus_r, n,
+      [&](int, int, std::uint32_t id) {
+        if (model.spin(id) != minority) return;
+        ++check.minority_in_nucleus;
+        if (model.is_unhappy(id)) ++check.unhappy_minority_in_nucleus;
+      });
   // Lemma 4's count: floor(tau * eps'^2 N) - N^{1/2+eps} (the paper's
   // bound for the number of unhappy minority agents in the nucleus).
   const double target =
@@ -125,15 +154,13 @@ ExpansionResult try_expand_radical_region(const SchellingModel& model,
   SchellingModel scratch(model.params(), model.spins());
   ExpansionResult result;
 
+  const int n = scratch.side();
   const auto core_is_majority = [&] {
-    for (int dy = -core_r; dy <= core_r; ++dy) {
-      for (int dx = -core_r; dx <= core_r; ++dx) {
-        if (scratch.spin_at(center.x + dx, center.y + dy) == minority) {
-          return false;
-        }
-      }
-    }
-    return true;
+    return for_each_window_point_until(
+        torus_wrap(center.x, n), torus_wrap(center.y, n), core_r, n,
+        [&](int, int, std::uint32_t id) {
+          return scratch.spin(id) != minority;
+        });
   };
 
   while (result.flips_used < budget) {

@@ -1,0 +1,30 @@
+#include "lattice/agent_set.h"
+
+#include <cassert>
+
+namespace seg {
+
+void AgentSet::insert(std::uint32_t id) {
+  assert(id < pos_.size());
+  if (pos_[id] != kAbsent) return;
+  pos_[id] = static_cast<std::uint32_t>(items_.size());
+  items_.push_back(id);
+}
+
+void AgentSet::erase(std::uint32_t id) {
+  assert(id < pos_.size());
+  const std::uint32_t p = pos_[id];
+  if (p == kAbsent) return;
+  const std::uint32_t last = items_.back();
+  items_[p] = last;
+  pos_[last] = p;
+  items_.pop_back();
+  pos_[id] = kAbsent;
+}
+
+std::uint32_t AgentSet::sample(Rng& rng) const {
+  assert(!items_.empty());
+  return items_[rng.uniform_below(items_.size())];
+}
+
+}  // namespace seg

@@ -1,0 +1,40 @@
+// An O(1) insert/erase/sample index set over agent ids, used for the
+// unhappy / flippable / vacant sets of every lattice model. Sampling must
+// be uniform for the dynamics to realize the Poisson-clock law.
+//
+// The iteration (and therefore sampling) order is a deterministic function
+// of the insert/erase history: erase moves the last element into the hole.
+// The engines preserve the legacy per-window mutation order exactly so
+// that trajectories stay bitwise reproducible across refactors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace seg {
+
+class AgentSet {
+ public:
+  explicit AgentSet(std::size_t capacity) : pos_(capacity, kAbsent) {}
+
+  bool contains(std::uint32_t id) const { return pos_[id] != kAbsent; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  // Idempotent: inserting a present id / erasing an absent id is a no-op.
+  void insert(std::uint32_t id);
+  void erase(std::uint32_t id);
+
+  std::uint32_t sample(Rng& rng) const;
+  std::uint32_t at(std::size_t i) const { return items_[i]; }
+  const std::vector<std::uint32_t>& items() const { return items_; }
+
+ private:
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+  std::vector<std::uint32_t> items_;
+  std::vector<std::uint32_t> pos_;
+};
+
+}  // namespace seg

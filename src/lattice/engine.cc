@@ -1,0 +1,183 @@
+#include "lattice/engine.h"
+
+#include <cassert>
+
+#include "grid/box_sum.h"
+
+namespace seg {
+
+BinarySpinEngine::BinarySpinEngine(int n, int w, bool dense_window,
+                                   std::vector<Point> offsets,
+                                   std::vector<std::int8_t> spins,
+                                   MembershipTable table, int set_count)
+    : geometry_(n, w),
+      dense_window_(dense_window),
+      set_count_(set_count),
+      offsets_(std::move(offsets)),
+      table_(std::move(table)),
+      spins_(std::move(spins)),
+      plus_count_(spins_.size(), 0),
+      status_(spins_.size(), 0) {
+  assert(set_count_ >= 1 && set_count_ <= 8);
+  assert(spins_.size() == geometry_.site_count());
+  assert(!dense_window_ ||
+         static_cast<int>(offsets_.size()) == geometry_.window_size());
+  sets_.reserve(set_count_);
+  for (int s = 0; s < set_count_; ++s) {
+    sets_.emplace_back(spins_.size());
+  }
+  init_counts();
+  init_codes();
+  init_breaks();
+}
+
+void BinarySpinEngine::init_breaks() {
+  const int N = window_size();
+  sparse_crossings_ = true;
+  int found = 0;
+  for (int c = 1; c <= N; ++c) {
+    if (table_.code(true, c) == table_.code(true, c - 1) &&
+        table_.code(false, c) == table_.code(false, c - 1)) {
+      continue;
+    }
+    if (found == kMaxBreaks) {
+      sparse_crossings_ = false;
+      break;
+    }
+    breaks_[found++] = c;
+  }
+  // Sentinel no count can reach: counts stay in [0, N] and the flip loop
+  // compares against break or break - 1.
+  for (int k = found; k < kMaxBreaks; ++k) breaks_[k] = -2;
+}
+
+void BinarySpinEngine::init_counts() {
+  std::vector<std::int32_t> plus_indicator(spins_.size());
+  for (std::size_t i = 0; i < spins_.size(); ++i) {
+    assert(spins_[i] == 1 || spins_[i] == -1);
+    plus_indicator[i] = spins_[i] > 0 ? 1 : 0;
+  }
+  const int n = geometry_.side();
+  if (dense_window_) {
+    // Separable sliding-window box sum, O(n^2) independent of w.
+    plus_count_ = box_sum_torus(plus_indicator, n, geometry_.radius());
+    return;
+  }
+  // Generic stencil: one cache-friendly shifted-add pass per offset,
+  // O(n^2 N) at construction only.
+  for (const Point o : offsets_) {
+    for (int y = 0; y < n; ++y) {
+      const std::size_t src_row =
+          static_cast<std::size_t>(torus_wrap(y + o.y, n)) * n;
+      std::int32_t* dst =
+          plus_count_.data() + static_cast<std::size_t>(y) * n;
+      for (int x = 0; x < n; ++x) {
+        dst[x] += plus_indicator[src_row + torus_wrap(x + o.x, n)];
+      }
+    }
+  }
+}
+
+void BinarySpinEngine::init_codes() {
+  const std::uint8_t* tbl = table_.data();
+  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
+    const std::uint8_t want =
+        tbl[table_.spin_offset(spins_[id]) + plus_count_[id]];
+    if (want != 0) {
+      apply_code(id, 0, want);
+      status_[id] = want;
+    }
+  }
+}
+
+void BinarySpinEngine::flip(std::uint32_t id) {
+  const std::int8_t old_spin = spins_[id];
+  spins_[id] = static_cast<std::int8_t>(-old_spin);
+  const std::int32_t delta = old_spin > 0 ? -1 : +1;
+  if (dense_window_ && sparse_crossings_) {
+    // A code changes when the count crosses a piece boundary: arriving at
+    // `break` going up, or at `break - 1` going down. Two passes per row
+    // span — a count update and an any-hit OR-reduction, both against
+    // register constants only, both auto-vectorizable — and a rescan of
+    // the (rare) spans that contain a crossing.
+    const std::int32_t shift = delta < 0 ? 1 : 0;
+    const std::int32_t b0 = breaks_[0] - shift;
+    const std::int32_t b1 = breaks_[1] - shift;
+    const std::int32_t b2 = breaks_[2] - shift;
+    const std::int32_t b3 = breaks_[3] - shift;
+    const std::int32_t b4 = breaks_[4] - shift;
+    const std::int32_t b5 = breaks_[5] - shift;
+    const std::int32_t b6 = breaks_[6] - shift;
+    const std::int32_t b7 = breaks_[7] - shift;
+    geometry_.for_each_span(id, [&](std::size_t base, int len) {
+      std::int32_t* cnt = plus_count_.data() + base;
+      // The flipped agent itself changes code by changing sign, not by
+      // crossing a count boundary — its span always rescans, and the
+      // rescan must hit it at its window position to keep the legacy set
+      // mutation order.
+      const bool has_center =
+          id >= base && id < base + static_cast<std::size_t>(len);
+      unsigned any = has_center ? 1 : 0;
+      for (int i = 0; i < len; ++i) {
+        const std::int32_t c = cnt[i] + delta;
+        cnt[i] = c;
+        any |= static_cast<unsigned>((c == b0) | (c == b1) | (c == b2) |
+                                     (c == b3) | (c == b4) | (c == b5) |
+                                     (c == b6) | (c == b7));
+      }
+      if (any) {
+        for (int i = 0; i < len; ++i) {
+          const auto j = static_cast<std::uint32_t>(base + i);
+          const std::int32_t c = cnt[i];
+          if ((c == b0) | (c == b1) | (c == b2) | (c == b3) | (c == b4) |
+              (c == b5) | (c == b6) | (c == b7) | (j == id)) {
+            touch(j, c);
+          }
+        }
+      }
+    });
+    return;
+  }
+  if (dense_window_) {
+    geometry_.for_each_span(id, [&](std::size_t base, int len) {
+      std::int32_t* cnt = plus_count_.data() + base;
+      for (int i = 0; i < len; ++i) {
+        cnt[i] += delta;
+        touch(static_cast<std::uint32_t>(base + i), cnt[i]);
+      }
+    });
+    return;
+  }
+  const int n = geometry_.side();
+  const int cx = static_cast<int>(id % n);
+  const int cy = static_cast<int>(id / n);
+  for (const Point o : offsets_) {
+    const std::uint32_t j = static_cast<std::uint32_t>(
+        static_cast<std::size_t>(torus_wrap(cy + o.y, n)) * n +
+        torus_wrap(cx + o.x, n));
+    plus_count_[j] += delta;
+    touch(j, plus_count_[j]);
+  }
+}
+
+bool BinarySpinEngine::check_invariants() const {
+  const int n = geometry_.side();
+  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
+    if (spins_[id] != 1 && spins_[id] != -1) return false;
+    std::int32_t plus = 0;
+    const int cx = static_cast<int>(id % n);
+    const int cy = static_cast<int>(id / n);
+    for (const Point o : offsets_) {
+      plus += spins_[static_cast<std::size_t>(torus_wrap(cy + o.y, n)) * n +
+                     torus_wrap(cx + o.x, n)] > 0;
+    }
+    if (plus != plus_count_[id]) return false;
+    if (status_[id] != table_.code(spins_[id] > 0, plus)) return false;
+    for (int s = 0; s < set_count_; ++s) {
+      if (sets_[s].contains(id) != ((status_[id] >> s) & 1)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace seg

@@ -1,0 +1,117 @@
+// The shared incremental engine for binary-spin lattice models
+// (SchellingModel, ComfortModel, and anything with an agent state of
+// +1/-1 and a classification driven by the windowed +1-count).
+//
+// The engine owns the spin field, the per-site +1 window counts, a
+// per-site membership code (see membership.h), and up to 8 AgentSets.
+// flip(id) negates a spin and restores all invariants in one pass over
+// the window: counts update via contiguous row spans (window.h), and set
+// membership updates fire only for sites whose count crossed a model
+// threshold — O(#crossings) set operations instead of (2w+1)^2 probes.
+//
+// Trajectory compatibility: sites are visited in the legacy stencil
+// order and set mutations are applied in ascending set index, which
+// reproduces the pre-engine refresh_membership() mutation sequence
+// exactly; golden-seed tests pin this down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/point.h"
+#include "lattice/agent_set.h"
+#include "lattice/membership.h"
+#include "lattice/window.h"
+
+namespace seg {
+
+class BinarySpinEngine {
+ public:
+  // `offsets` is the full stencil including (0,0). When `dense_window` is
+  // true the stencil must be the full (2w+1)^2 Moore window and flips take
+  // the span fast path; otherwise (e.g. von Neumann) flips walk the
+  // offsets with wrapped indexing. Spins must be +1/-1, size n*n.
+  BinarySpinEngine(int n, int w, bool dense_window,
+                   std::vector<Point> offsets,
+                   std::vector<std::int8_t> spins, MembershipTable table,
+                   int set_count);
+
+  int side() const { return geometry_.side(); }
+  int radius() const { return geometry_.radius(); }
+  int window_size() const { return static_cast<int>(offsets_.size()); }
+  std::size_t size() const { return spins_.size(); }
+  const WindowGeometry& geometry() const { return geometry_; }
+
+  std::int8_t spin(std::uint32_t id) const { return spins_[id]; }
+  const std::vector<std::int8_t>& spins() const { return spins_; }
+  std::int32_t plus_count(std::uint32_t id) const {
+    return plus_count_[id];
+  }
+  std::uint8_t code(std::uint32_t id) const { return status_[id]; }
+  const std::vector<Point>& offsets() const { return offsets_; }
+
+  const AgentSet& set(int s) const { return sets_[s]; }
+  AgentSet& set(int s) { return sets_[s]; }
+
+  // Negates spins_[id] and restores counts, codes, and set memberships.
+  void flip(std::uint32_t id);
+
+  // Full recount audit: counts match the stencil, codes match the table,
+  // memberships match the codes. O(n^2 N).
+  bool check_invariants() const;
+
+ private:
+  // Membership codes are piecewise-constant in the count; a +-1 count
+  // change can alter the code only when the new count lands exactly on a
+  // piece boundary. The detection set is the union of both spin signs'
+  // boundaries, so the hot loop compares counts against register
+  // constants only — no per-cell spin load. A hit may be a false positive
+  // for the other spin sign; touch() resolves it against the exact table
+  // (and does nothing when the code is unchanged). Every current model
+  // has <= 4 boundaries per spin sign, <= 8 in the union.
+  static constexpr int kMaxBreaks = 8;
+
+  void init_counts();
+  void init_codes();
+  void init_breaks();
+
+  void apply_code(std::uint32_t id, std::uint8_t have, std::uint8_t want) {
+    for (int s = 0; s < set_count_; ++s) {
+      const std::uint8_t bit = static_cast<std::uint8_t>(1u << s);
+      if ((have ^ want) & bit) {
+        if (want & bit) {
+          sets_[s].insert(id);
+        } else {
+          sets_[s].erase(id);
+        }
+      }
+    }
+  }
+
+  // Updates one site given its new count; shared by both flip paths.
+  void touch(std::uint32_t id, std::int32_t new_count) {
+    const std::uint8_t want =
+        table_.data()[table_.spin_offset(spins_[id]) + new_count];
+    const std::uint8_t have = status_[id];
+    if (want != have) {
+      apply_code(id, have, want);
+      status_[id] = want;
+    }
+  }
+
+  WindowGeometry geometry_;
+  bool dense_window_;
+  bool sparse_crossings_;
+  // Counts c where code(c) != code(c - 1) for either spin sign, padded
+  // with an unreachable sentinel.
+  std::int32_t breaks_[kMaxBreaks];
+  int set_count_;
+  std::vector<Point> offsets_;
+  MembershipTable table_;
+  std::vector<std::int8_t> spins_;
+  std::vector<std::int32_t> plus_count_;
+  std::vector<std::uint8_t> status_;
+  std::vector<AgentSet> sets_;
+};
+
+}  // namespace seg

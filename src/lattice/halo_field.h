@@ -1,0 +1,73 @@
+// A halo-padded snapshot of a torus field: the n x n interior plus a
+// `halo`-wide wrapped border copied around it. Window scans of radius up
+// to `halo` then read contiguous rows with no torus_wrap or modulo in the
+// inner loop — the read-side counterpart of the span decomposition in
+// window.h, used by the firewall scanners that probe every center of the
+// grid against the same immutable field.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "grid/point.h"
+
+namespace seg {
+
+template <typename T>
+class HaloField {
+ public:
+  // Snapshot of `torus` (row-major n x n) with the given halo width.
+  // halo may be up to n; larger windows would revisit sites anyway.
+  HaloField(const std::vector<T>& torus, int n, int halo)
+      : n_(n), halo_(halo), stride_(n + 2 * halo) {
+    assert(n > 0 && halo >= 0 && halo <= n);
+    assert(torus.size() == static_cast<std::size_t>(n) * n);
+    cells_.resize(static_cast<std::size_t>(stride_) * stride_);
+    for (int py = 0; py < stride_; ++py) {
+      const std::size_t src =
+          static_cast<std::size_t>(torus_wrap(py - halo, n)) * n;
+      T* dst = cells_.data() + static_cast<std::size_t>(py) * stride_;
+      // Interior columns are a straight copy; the x halo wraps around.
+      for (int px = 0; px < stride_; ++px) {
+        dst[px] = torus[src + torus_wrap(px - halo, n)];
+      }
+    }
+  }
+
+  int side() const { return n_; }
+  int halo() const { return halo_; }
+
+  // Pointer to (0, y) of the logical torus row y; valid x offsets are
+  // [-halo, n + halo). y itself may range over [-halo, n + halo).
+  const T* row(int y) const {
+    assert(y >= -halo_ && y < n_ + halo_);
+    return cells_.data() +
+           static_cast<std::size_t>(y + halo_) * stride_ + halo_;
+  }
+
+  T at(int x, int y) const {
+    assert(x >= -halo_ && x < n_ + halo_);
+    return row(y)[x];
+  }
+
+  // Calls fn(ptr, len) for each row segment of the radius-r window around
+  // (cx, cy); the segments are contiguous and never cross the halo edge.
+  // Requires r <= halo and (cx, cy) in the interior.
+  template <typename Fn>
+  void for_each_window_row(int cx, int cy, int r, Fn&& fn) const {
+    assert(r <= halo_);
+    assert(cx >= 0 && cx < n_ && cy >= 0 && cy < n_);
+    for (int dy = -r; dy <= r; ++dy) {
+      fn(row(cy + dy) + (cx - r), 2 * r + 1);
+    }
+  }
+
+ private:
+  int n_;
+  int halo_;
+  int stride_;
+  std::vector<T> cells_;
+};
+
+}  // namespace seg

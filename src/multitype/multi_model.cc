@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "grid/union_find.h"
+#include "lattice/window.h"
 
 namespace seg {
 
@@ -28,32 +29,30 @@ MultiTypeModel::MultiTypeModel(const MultiParams& params,
       K_(params.happy_threshold()),
       types_(std::move(types)),
       counts_(types_.size() * params.q, 0),
+      feasible_count_(types_.size(), 0),
+      in_flippable_(types_.size(), 0),
       flippable_(types_.size()) {
   assert(params_.valid());
   assert(types_.size() ==
          static_cast<std::size_t>(params_.n) * params_.n);
-  // Initial per-type counts: one pass per type would be q box sums; the
-  // direct accumulation below is O(n^2 N) but only runs at construction
-  // and keeps the per-type layout cache-local.
+  // Initial per-type counts: scatter each agent's type into the counts of
+  // its window neighbors — O(n^2 N) but only at construction, and the
+  // span iteration keeps the writes row-contiguous per type plane.
   const int n = params_.n;
-  const int w = params_.w;
-  for (int y = 0; y < n; ++y) {
-    for (int x = 0; x < n; ++x) {
-      const std::uint8_t t = types_[static_cast<std::size_t>(y) * n + x];
-      assert(t < params_.q);
-      for (int dy = -w; dy <= w; ++dy) {
-        const std::size_t row =
-            static_cast<std::size_t>(torus_wrap(y + dy, n)) * n;
-        for (int dx = -w; dx <= w; ++dx) {
-          const std::uint32_t j =
-              static_cast<std::uint32_t>(row + torus_wrap(x + dx, n));
-          ++counts_[count_index(j, t)];
-        }
-      }
-    }
+  const int q = params_.q;
+  for (std::uint32_t id = 0; id < types_.size(); ++id) {
+    const std::uint8_t t = types_[id];
+    assert(t < q);
+    for_each_window_cell(static_cast<int>(id % n),
+                         static_cast<int>(id / n), params_.w, n,
+                         [&](std::uint32_t j) { ++counts_[count_index(j, t)]; });
   }
   for (std::uint32_t id = 0; id < types_.size(); ++id) {
-    refresh_membership(id);
+    feasible_count_[id] = recount_feasible(id);
+    if (is_flippable(id)) {
+      flippable_.insert(id);
+      in_flippable_[id] = 1;
+    }
   }
 }
 
@@ -85,12 +84,13 @@ std::vector<std::uint8_t> MultiTypeModel::feasible_types(
   return feasible;
 }
 
-void MultiTypeModel::refresh_membership(std::uint32_t id) {
-  if (is_flippable(id)) {
-    flippable_.insert(id);
-  } else {
-    flippable_.erase(id);
+std::int32_t MultiTypeModel::recount_feasible(std::uint32_t id) const {
+  std::int32_t feasible = 0;
+  const std::int32_t* row = counts_.data() + count_index(id, 0);
+  for (int t = 0; t < params_.q; ++t) {
+    feasible += (t != types_[id] && row[t] + 1 >= K_);
   }
+  return feasible;
 }
 
 void MultiTypeModel::set_type(std::uint32_t id, std::uint8_t new_type) {
@@ -99,20 +99,39 @@ void MultiTypeModel::set_type(std::uint32_t id, std::uint8_t new_type) {
   if (new_type == old_type) return;
   types_[id] = new_type;
   const int n = params_.n;
-  const int w = params_.w;
-  const int cx = static_cast<int>(id % n);
-  const int cy = static_cast<int>(id / n);
-  for (int dy = -w; dy <= w; ++dy) {
-    const std::size_t row =
-        static_cast<std::size_t>(torus_wrap(cy + dy, n)) * n;
-    for (int dx = -w; dx <= w; ++dx) {
-      const std::uint32_t j =
-          static_cast<std::uint32_t>(row + torus_wrap(cx + dx, n));
-      --counts_[count_index(j, old_type)];
-      ++counts_[count_index(j, new_type)];
-      refresh_membership(j);
-    }
-  }
+  const int q = params_.q;
+  for_each_window_span(
+      static_cast<int>(id % n), static_cast<int>(id / n), params_.w, n,
+      [&](std::size_t base, int len) {
+        for (int i = 0; i < len; ++i) {
+          const auto j = static_cast<std::uint32_t>(base + i);
+          std::int32_t* row = counts_.data() + static_cast<std::size_t>(j) * q;
+          const std::int32_t c_old = --row[old_type];
+          const std::int32_t c_new = ++row[new_type];
+          const std::uint8_t tj = types_[j];
+          if (j == id) {
+            // The center's own type changed, so its exclusion moved:
+            // recount the q types once per switch.
+            feasible_count_[j] = recount_feasible(j);
+          } else {
+            // Feasibility of t flips only when counts_[j, t] crosses
+            // K - 1 (post-switch tally includes the agent itself).
+            if (old_type != tj && c_old == K_ - 2) --feasible_count_[j];
+            if (new_type != tj && c_new == K_ - 1) ++feasible_count_[j];
+          }
+          const bool happy = row[tj] >= K_;
+          const std::uint8_t want =
+              (!happy && feasible_count_[j] > 0) ? 1 : 0;
+          if (want != in_flippable_[j]) {
+            if (want) {
+              flippable_.insert(j);
+            } else {
+              flippable_.erase(j);
+            }
+            in_flippable_[j] = want;
+          }
+        }
+      });
 }
 
 double MultiTypeModel::happy_fraction() const {
@@ -146,6 +165,12 @@ bool MultiTypeModel::check_invariants() const {
     for (std::uint8_t t = 0; t < params_.q; ++t) {
       if (tally[t] != type_count_at(id, t)) return false;
     }
+    if (feasible_count_[id] != recount_feasible(id)) return false;
+    if (feasible_count_[id] !=
+        static_cast<std::int32_t>(feasible_types(id).size())) {
+      return false;
+    }
+    if (in_flippable_[id] != (is_flippable(id) ? 1 : 0)) return false;
     if (flippable_.contains(id) != is_flippable(id)) return false;
   }
   return true;

@@ -7,6 +7,13 @@
 // chosen uniformly among the feasible types (the two-type case with
 // feasible = {other type} recovers the paper's model).
 //
+// Built on the lattice layer: a type switch touches exactly two count
+// planes (old type -1, new type +1), so per-window-site work is O(1) —
+// the flippable classification is maintained from an incrementally
+// updated feasible-type counter instead of re-enumerating the q types
+// (and allocating) at every neighbor, and set updates fire only when a
+// count crosses the K-1 feasibility or K happiness boundary.
+//
 // Like the comfort variant, q > 2 admits no simple Lyapunov certificate,
 // so runs always take a flip budget. (For q = 2 the budgeted run reaches
 // the same absorbing states as the baseline engine.)
@@ -15,8 +22,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/model.h"
 #include "grid/point.h"
+#include "lattice/agent_set.h"
 #include "rng/rng.h"
 #include "theory/bounds.h"
 
@@ -66,8 +73,12 @@ class MultiTypeModel {
   // Types the agent could switch to and be happy (excludes its own type;
   // the count uses the post-switch tally, i.e. +1 for itself).
   std::vector<std::uint8_t> feasible_types(std::uint32_t id) const;
+  // Number of such types, maintained incrementally (no enumeration).
+  std::int32_t feasible_type_count(std::uint32_t id) const {
+    return feasible_count_[id];
+  }
   bool is_flippable(std::uint32_t id) const {
-    return !is_happy(id) && !feasible_types(id).empty();
+    return !is_happy(id) && feasible_count_[id] > 0;
   }
 
   const AgentSet& flippable_set() const { return flippable_; }
@@ -76,16 +87,16 @@ class MultiTypeModel {
   // Fraction of agents per type.
   std::vector<double> type_fractions() const;
 
-  // Switches id to new_type and restores all invariants. O(N) work.
+  // Switches id to new_type and restores all invariants in one span pass.
   void set_type(std::uint32_t id, std::uint8_t new_type);
 
   bool check_invariants() const;
 
  private:
-  void refresh_membership(std::uint32_t id);
   std::size_t count_index(std::uint32_t id, std::uint8_t t) const {
     return static_cast<std::size_t>(id) * params_.q + t;
   }
+  std::int32_t recount_feasible(std::uint32_t id) const;
 
   MultiParams params_;
   int N_;
@@ -93,6 +104,9 @@ class MultiTypeModel {
   std::vector<std::uint8_t> types_;
   // counts_[id * q + t] = # of type-t agents in N(id), self included.
   std::vector<std::int32_t> counts_;
+  // # of types t != type_of(id) with counts_[id, t] + 1 >= K.
+  std::vector<std::int32_t> feasible_count_;
+  std::vector<std::uint8_t> in_flippable_;  // membership byte per agent
   AgentSet flippable_;
 };
 

@@ -1,0 +1,206 @@
+// Golden-seed trajectory regression: the lattice-engine ports of all five
+// model variants must reproduce the pre-refactor implementations bit for
+// bit — same flips, same RNG consumption, same AgentSet iteration order.
+// The constants below were captured from the seed implementations (before
+// src/lattice/ existed) with exactly these parameters and seeds; any
+// change in sampling order, count maintenance, or set mutation order
+// shows up here as a hash mismatch.
+//
+// Also pins the comfort-band equivalence: with tau_hi = 1 (k_hi = N) the
+// ComfortModel is the paper's model, flip for flip.
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "core/comfort.h"
+#include "core/dynamics.h"
+#include "core/kawasaki.h"
+#include "core/model.h"
+#include "core/vacancy.h"
+#include "multitype/multi_model.h"
+
+namespace seg {
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_bytes(const void* data, std::size_t len) {
+  return fnv1a(data, len, 14695981039346656037ULL);
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(&v, sizeof(v), h);
+}
+
+std::uint64_t mix_double(std::uint64_t h, double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return mix(h, bits);
+}
+
+// Captured from the pre-lattice-engine implementations (PR 2 seed state).
+constexpr std::uint64_t kGoldenGlauber = 0x9ba2eb1f727a5fe9ull;
+constexpr std::uint64_t kGoldenDiscrete = 0x801332b4ccd3037bull;
+constexpr std::uint64_t kGoldenAsymVonNeumann = 0x1af2be3d65a66499ull;
+constexpr std::uint64_t kGoldenSynchronous = 0x03dfa85039d227afull;
+constexpr std::uint64_t kGoldenComfort = 0x4667963ad15961a7ull;
+constexpr std::uint64_t kGoldenVacancy = 0xc330be046aceb86dull;
+constexpr std::uint64_t kGoldenKawasaki = 0xb347afde603cf098ull;
+constexpr std::uint64_t kGoldenMulti = 0x86665de47b912899ull;
+
+TEST(GoldenTrajectory, SchellingGlauber) {
+  ModelParams p{.n = 48, .w = 3, .tau = 0.45, .p = 0.5};
+  Rng init = Rng::stream(1001, 0);
+  SchellingModel m(p, init);
+  Rng dyn = Rng::stream(1001, 1);
+  const RunResult r = run_glauber(m, dyn);
+  EXPECT_TRUE(r.terminated);
+  std::uint64_t h = hash_bytes(m.spins().data(), m.spins().size());
+  h = mix(h, r.flips);
+  h = mix_double(h, r.final_time);
+  EXPECT_EQ(h, kGoldenGlauber);
+}
+
+TEST(GoldenTrajectory, SchellingDiscreteSuperUnhappy) {
+  ModelParams p{.n = 40, .w = 2, .tau = 0.55, .p = 0.5};
+  Rng init = Rng::stream(1002, 0);
+  SchellingModel m(p, init);
+  Rng dyn = Rng::stream(1002, 1);
+  RunOptions opt;
+  opt.max_flips = 3000;
+  const RunResult r = run_discrete(m, dyn, opt);
+  std::uint64_t h = hash_bytes(m.spins().data(), m.spins().size());
+  h = mix(h, r.flips);
+  h = mix_double(h, r.final_time);
+  EXPECT_EQ(h, kGoldenDiscrete);
+}
+
+TEST(GoldenTrajectory, AsymmetricVonNeumann) {
+  ModelParams p{.n = 40, .w = 3, .tau = 0.4, .p = 0.5, .tau_minus = 0.55,
+                .shape = NeighborhoodShape::kVonNeumann};
+  Rng init = Rng::stream(1003, 0);
+  SchellingModel m(p, init);
+  Rng dyn = Rng::stream(1003, 1);
+  RunOptions opt;
+  opt.max_flips = 4000;
+  const RunResult r = run_glauber(m, dyn, opt);
+  std::uint64_t h = hash_bytes(m.spins().data(), m.spins().size());
+  h = mix(h, r.flips);
+  h = mix_double(h, r.final_time);
+  EXPECT_EQ(h, kGoldenAsymVonNeumann);
+}
+
+TEST(GoldenTrajectory, Synchronous) {
+  ModelParams p{.n = 32, .w = 2, .tau = 0.45, .p = 0.5};
+  Rng init = Rng::stream(1004, 0);
+  SchellingModel m(p, init);
+  const RunResult r = run_synchronous(m, 64);
+  std::uint64_t h = hash_bytes(m.spins().data(), m.spins().size());
+  h = mix(h, r.flips);
+  h = mix(h, r.rounds);
+  h = mix(h, r.cycle_detected ? 1 : 0);
+  EXPECT_EQ(h, kGoldenSynchronous);
+}
+
+TEST(GoldenTrajectory, ComfortBand) {
+  ComfortParams p{.n = 40, .w = 2, .tau_lo = 0.4, .tau_hi = 0.8, .p = 0.5};
+  Rng init = Rng::stream(1005, 0);
+  ComfortModel m(p, init);
+  Rng dyn = Rng::stream(1005, 1);
+  const ComfortRunResult r = run_comfort(m, dyn, 5000);
+  std::uint64_t h = hash_bytes(m.spins().data(), m.spins().size());
+  h = mix(h, r.flips);
+  h = mix_double(h, r.final_time);
+  EXPECT_EQ(h, kGoldenComfort);
+}
+
+TEST(GoldenTrajectory, VacancyRelocation) {
+  VacancyParams p{.n = 40, .w = 2, .tau = 0.5, .vacancy = 0.12, .p = 0.5,
+                  .relocation_attempts = 16};
+  Rng init = Rng::stream(1006, 0);
+  VacancyModel m(p, init);
+  Rng dyn = Rng::stream(1006, 1);
+  VacancyRunOptions opt;
+  opt.max_moves = 4000;
+  const VacancyRunResult r = run_vacancy(m, dyn, opt);
+  std::uint64_t h = hash_bytes(m.sites().data(), m.sites().size());
+  h = mix(h, r.moves);
+  h = mix(h, r.proposals);
+  EXPECT_EQ(h, kGoldenVacancy);
+}
+
+TEST(GoldenTrajectory, KawasakiSwaps) {
+  ModelParams p{.n = 32, .w = 2, .tau = 0.4, .p = 0.5};
+  Rng init = Rng::stream(1007, 0);
+  SchellingModel m(p, init);
+  Rng dyn = Rng::stream(1007, 1);
+  KawasakiOptions opt;
+  opt.max_swaps = 1500;
+  const KawasakiResult r = run_kawasaki(m, dyn, opt);
+  std::uint64_t h = hash_bytes(m.spins().data(), m.spins().size());
+  h = mix(h, r.swaps);
+  h = mix(h, r.proposals);
+  EXPECT_EQ(h, kGoldenKawasaki);
+}
+
+TEST(GoldenTrajectory, MultiTypeQ4) {
+  MultiParams p{.n = 40, .w = 2, .q = 4, .tau = 0.35};
+  Rng init = Rng::stream(1008, 0);
+  MultiTypeModel m(p, init);
+  Rng dyn = Rng::stream(1008, 1);
+  const MultiRunResult r = run_multi(m, dyn, 6000);
+  std::uint64_t h = hash_bytes(m.types().data(), m.types().size());
+  h = mix(h, r.flips);
+  h = mix_double(h, r.final_time);
+  EXPECT_EQ(h, kGoldenMulti);
+}
+
+// tau_hi = 1 makes the comfort band one-sided: k_hi = N, so the model is
+// exactly the paper's. The two engines must then consume identical RNG
+// draws and flip identical agents, step for step.
+TEST(GoldenTrajectory, ComfortWithFullBandMatchesSchellingFlipForFlip) {
+  const int n = 40;
+  const double tau = 0.45;
+  Rng spin_rng(2024);
+  const auto spins = random_spins(n, 0.5, spin_rng);
+
+  ModelParams sp{.n = n, .w = 2, .tau = tau, .p = 0.5};
+  SchellingModel schelling(sp, spins);
+  ComfortParams cp{.n = n, .w = 2, .tau_lo = tau, .tau_hi = 1.0, .p = 0.5};
+  ASSERT_EQ(cp.k_hi(), cp.neighborhood_size());
+  ASSERT_EQ(cp.k_lo(), sp.happy_threshold());
+  ComfortModel comfort(cp, spins);
+
+  Rng rng_s(555), rng_c(555);
+  std::uint64_t steps = 0;
+  while (!schelling.terminated()) {
+    ASSERT_FALSE(comfort.quiescent());
+    ASSERT_EQ(schelling.flippable_set().size(),
+              comfort.flippable_set().size());
+    const double dt_s = rng_s.exponential(
+        static_cast<double>(schelling.flippable_set().size()));
+    const double dt_c = rng_c.exponential(
+        static_cast<double>(comfort.flippable_set().size()));
+    ASSERT_EQ(dt_s, dt_c);
+    const std::uint32_t id_s = schelling.flippable_set().sample(rng_s);
+    const std::uint32_t id_c = comfort.flippable_set().sample(rng_c);
+    ASSERT_EQ(id_s, id_c);
+    schelling.flip(id_s);
+    comfort.flip(id_c);
+    ++steps;
+    ASSERT_LT(steps, 1000000u) << "runaway trajectory";
+  }
+  EXPECT_TRUE(comfort.quiescent());
+  EXPECT_EQ(schelling.spins(), comfort.spins());
+  EXPECT_GT(steps, 0u);
+}
+
+}  // namespace
+}  // namespace seg

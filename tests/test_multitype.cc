@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/model.h"
 #include "multitype/multi_model.h"
 
 namespace seg {
