@@ -1,8 +1,9 @@
 // FIG1 — reproduces Figure 1: self-segregation over time at tau = 0.42
 // with neighborhood size N = 441 (w = 10). The paper runs a 1000x1000
 // grid; the default here is 256 for wall-clock reasons (pass --n 1000 for
-// the full-size panel). Prints the happiness/segregation time series at
-// the four panel epochs and writes the panels as PPM images.
+// the full-size panel, and --shards K to sweep it on K stripes via the
+// sharded parallel engine). Prints the happiness/segregation time series
+// at the four panel epochs and writes the panels as PPM images.
 #include <cstdio>
 #include <string>
 #include <sys/stat.h>
@@ -12,8 +13,11 @@
 #include "analysis/regions.h"
 #include "core/dynamics.h"
 #include "core/model.h"
+#include "core/parallel_dynamics.h"
 #include "io/ppm.h"
 #include "io/table.h"
+#include "lattice/sharded.h"
+#include "rng/splitmix64.h"
 #include "util/args.h"
 
 namespace {
@@ -40,16 +44,38 @@ int main(int argc, char** argv) {
   params.tau = args.get_double("tau", 0.42);
   params.p = 0.5;
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2017));
+  const int shards = static_cast<int>(args.get_int("shards", 1));
   const std::string out_dir = args.get_string("out", "out_fig1");
   ::mkdir(out_dir.c_str(), 0755);
 
-  std::printf("== Figure 1: segregation dynamics, tau=%.2f, %dx%d, N=%d "
-              "==\n\n",
-              params.tau, params.n, params.n, params.neighborhood_size());
+  std::printf("== Figure 1: segregation dynamics, tau=%.2f, %dx%d, N=%d, "
+              "%d shard(s) ==\n\n",
+              params.tau, params.n, params.n, params.neighborhood_size(),
+              shards);
 
   seg::Rng init = seg::Rng::stream(seed, 0);
-  seg::SchellingModel model(params, init);
+  seg::SchellingModel model =
+      shards > 1
+          ? seg::SchellingModel(params, init,
+                                seg::ShardLayout::stripes(params.n, params.w,
+                                                          shards))
+          : seg::SchellingModel(params, init);
   seg::Rng dyn = seg::Rng::stream(seed, 1);
+  // Serial epochs share `dyn`; sharded epochs re-derive fresh per-shard
+  // substreams from (dynamics stream seed, epoch) so no epoch replays
+  // another's draws.
+  int epoch = 0;
+  const auto advance = [&](std::uint64_t max_flips) -> seg::RunResult {
+    if (shards > 1) {
+      seg::ParallelOptions opt;
+      if (max_flips > 0) opt.max_flips = max_flips;
+      return seg::to_run_result(seg::run_parallel_glauber(
+          model, seg::mix_seed(seg::mix_seed(seed, 1), epoch++), opt));
+    }
+    seg::RunOptions opt;
+    if (max_flips > 0) opt.max_flips = max_flips;
+    return seg::run_glauber(model, dyn, opt);
+  };
 
   seg::TablePrinter table({"panel", "flips", "time", "happy%", "unhappy",
                            "largest_cluster", "largest_mono_ball"});
@@ -77,9 +103,7 @@ int main(int argc, char** argv) {
   double time_total = 0.0;
   const char* names[2] = {"(b) early", "(c) mid"};
   for (int panel = 0; panel < 2; ++panel) {
-    seg::RunOptions opt;
-    opt.max_flips = chunk;
-    const seg::RunResult r = seg::run_glauber(model, dyn, opt);
+    const seg::RunResult r = advance(chunk);
     flips_total += r.flips;
     time_total += r.final_time;
     record(names[panel], flips_total, time_total);
@@ -87,7 +111,7 @@ int main(int argc, char** argv) {
                            std::string(panel == 0 ? "b" : "c") + ".ppm");
     if (r.terminated) break;
   }
-  const seg::RunResult r = seg::run_glauber(model, dyn);
+  const seg::RunResult r = advance(0);
   flips_total += r.flips;
   time_total += r.final_time;
   record("(d) final", flips_total, time_total);

@@ -7,9 +7,11 @@
 #include "analysis/regions.h"
 #include "core/dynamics.h"
 #include "core/model.h"
+#include "core/parallel_dynamics.h"
 #include "grid/box_sum.h"
 #include "grid/distance_transform.h"
 #include "grid/prefix_sum.h"
+#include "lattice/sharded.h"
 
 namespace {
 
@@ -64,6 +66,69 @@ BENCHMARK(BM_GlauberRun)
     ->Args({128, 2})
     ->Args({128, 4})
     ->Args({128, 10});
+
+// Giant-lattice sweep throughput: a fixed flip budget on a fresh
+// tau = 0.45 lattice, serial engine (shards = 0) versus the sharded
+// sweep engine at 1/2/4/8 stripes. Rate (items == applied flips) is the
+// comparison metric, so serial and sharded rows are directly comparable
+// even though the sharded runs may overshoot the budget by one sweep
+// quantum. Thread count follows the hardware (capped at the shard
+// count) — on a single-core host the sharded rows measure pure framework
+// overhead; the scaling headroom needs real cores.
+void BM_GlauberSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  const int w = 4;
+  seg::ModelParams params{.n = n, .w = w, .tau = 0.45, .p = 0.5};
+  seg::Rng spin_rng(3);
+  // One shared initial configuration; each iteration restarts from it so
+  // the dynamics never runs into the absorbing tail where the flippable
+  // set thins out.
+  const auto spins = seg::random_spins(n, 0.5, spin_rng);
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) / 64;
+  std::uint64_t flips = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (shards == 0) {
+      seg::SchellingModel model(params, spins);
+      seg::Rng dyn(4);
+      state.ResumeTiming();
+      seg::RunOptions opt;
+      opt.max_flips = budget;
+      flips += seg::run_glauber(model, dyn, opt).flips;
+    } else {
+      seg::SchellingModel model(params, spins,
+                                seg::ShardLayout::stripes(n, w, shards));
+      state.ResumeTiming();
+      seg::ParallelOptions opt;
+      opt.max_flips = budget;
+      flips += seg::run_parallel_glauber(model, 4, opt).flips;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flips));
+  state.counters["shards"] = shards;
+}
+BENCHMARK(BM_GlauberSweep)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({1024, 4})
+    ->Args({1024, 8})
+    ->Args({2048, 0})
+    ->Args({2048, 1})
+    ->Args({2048, 2})
+    ->Args({2048, 4})
+    ->Args({2048, 8})
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Args({4096, 4})
+    ->Args({4096, 8})
+    // Phase A runs on pool workers whose CPU time the main thread never
+    // sees; wall-clock is the only honest basis for the flips/sec rate.
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BoxSum(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

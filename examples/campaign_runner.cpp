@@ -20,6 +20,9 @@
 //   --threads T        worker threads (default 1, 0 = hardware)
 //   --replicas R       override replica count
 //   --n N  --w W       override built-in grid side / horizon (where used)
+//   --shards K         lattice shards per Glauber replica (sharded sweep
+//                      engine; K=1 keeps the serial engine, trajectories
+//                      are deterministic per K — see README "Scaling runs")
 //   --out FILE         aggregated CSV (default <name>.csv)
 //   --manifest FILE    run manifest (default <name>.manifest)
 //   --checkpoint FILE  checkpoint path (enables periodic checkpointing)
@@ -77,13 +80,15 @@ int main(int argc, char** argv) {
   const std::string scenario = args.get_string("scenario", "phase_diagram");
 
   std::size_t threads = 1, replicas_override = 0, stop_after = 0,
-              checkpoint_every = 64, n_override = 0, w_override = 0;
+              checkpoint_every = 64, n_override = 0, w_override = 0,
+              shards_override = 0;
   if (!get_size(args, "threads", 1, &threads) ||
       !get_size(args, "replicas", 0, &replicas_override) ||
       !get_size(args, "stop-after", 0, &stop_after) ||
       !get_size(args, "checkpoint-every", 64, &checkpoint_every) ||
       !get_size(args, "n", 0, &n_override) ||
-      !get_size(args, "w", 0, &w_override)) {
+      !get_size(args, "w", 0, &w_override) ||
+      !get_size(args, "shards", 0, &shards_override)) {
     return 1;
   }
 
@@ -103,6 +108,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (replicas_override > 0) campaign.spec.replicas = replicas_override;
+    if (shards_override > 0) campaign.spec.shards = shards_override;
     campaign.points = seg::expand_grid(campaign.spec);
     campaign.metric_names = campaign.spec.metrics;
     campaign.replica = seg::make_schelling_replica(campaign.spec);
@@ -110,7 +116,8 @@ int main(int argc, char** argv) {
     const seg::BuiltinOverrides overrides{
         .n = static_cast<int>(n_override),
         .w = static_cast<int>(w_override),
-        .replicas = replicas_override};
+        .replicas = replicas_override,
+        .shards = shards_override};
     if (!seg::make_builtin_campaign(scenario, overrides, &campaign)) {
       std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
                    scenario.c_str());
@@ -127,11 +134,12 @@ int main(int argc, char** argv) {
 
   const std::size_t total = campaign.points.size() * campaign.spec.replicas;
   std::printf("campaign '%s': %zu points x %zu replicas = %zu runs, "
-              "seed %llu, %zu thread(s)\n",
+              "seed %llu, %zu thread(s), %zu shard(s)/replica\n",
               campaign.spec.name.c_str(), campaign.points.size(),
               campaign.spec.replicas, total,
               static_cast<unsigned long long>(seed),
-              options.threads == 0 ? 0 : options.threads);
+              options.threads == 0 ? 0 : options.threads,
+              campaign.spec.shards);
 
   const seg::CampaignResult result = seg::run_campaign(
       campaign.spec, campaign.points, campaign.metric_names,
@@ -149,6 +157,7 @@ int main(int argc, char** argv) {
   seg::CsvSink csv(out);
   seg::ManifestSink manifest(manifest_path);
   manifest.set_info("threads", std::to_string(options.threads));
+  manifest.set_info("shards", std::to_string(campaign.spec.shards));
   manifest.set_info("csv", out);
   if (!spec_path.empty()) manifest.set_info("spec_file", spec_path);
   if (!seg::write_all(campaign.spec, result, {&csv, &manifest})) {

@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
 # Emits BENCH_core.json at the repo root: the core hot-path benchmarks
-# (BM_Flip and BM_GlauberRun at w in {2, 4, 10}) in Google Benchmark's
-# JSON format, annotated with the seed-implementation baselines so the
-# perf trajectory — and the speedup over the pre-lattice-engine code —
-# is tracked PR over PR.
+# (BM_Flip and BM_GlauberRun at w in {2, 4, 10}, plus the BM_GlauberSweep
+# giant-lattice scaling curve — serial engine vs 1/2/4/8 stripe shards at
+# n in {1024, 2048, 4096}) in Google Benchmark's JSON format, annotated
+# with the seed-implementation baselines and the sharded-vs-serial
+# speedups so the perf trajectory is tracked PR over PR.
+#
+# The sharded speedups are wall-clock flips/sec ratios and therefore
+# bounded by the host's physical parallelism: on a 1-core container every
+# shard count measures pure framework overhead (expect ~1.0x), and the
+# scaling headroom only shows on multi-core hardware. The JSON records
+# hardware_threads next to the curve so a reader can tell which regime a
+# run measured.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 repo=$(pwd)
@@ -19,7 +27,8 @@ fi
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 (cd "$tmp" && "$repo/build/perf_core" \
-    --benchmark_filter='^BM_(Flip|GlauberRun)' \
+    --benchmark_filter='^BM_(Flip|GlauberRun|GlauberSweep)' \
+    --benchmark_min_time=0.25 \
     --benchmark_format=json >raw.json)
 
 python3 - "$tmp/raw.json" "$repo/BENCH_core.json" <<'EOF'
@@ -37,11 +46,39 @@ seed_ns = {
     "BM_GlauberRun/64/2": 724903.0,
     "BM_GlauberRun/128/2": 2806754.0,
 }
+serial_rate = {}   # n -> serial-engine flips/sec
+sweep_rows = []
 for bench in raw.get("benchmarks", []):
-    baseline = seed_ns.get(bench.get("name", ""))
+    name = bench.get("name", "")
+    baseline = seed_ns.get(name)
     if baseline is not None and bench.get("real_time"):
         bench["seed_baseline_ns"] = baseline
         bench["speedup_vs_seed"] = round(baseline / bench["real_time"], 2)
+    if name.startswith("BM_GlauberSweep/"):
+        parts = name.split("/")  # BM_GlauberSweep/<n>/<shards>/real_time
+        n, shards = int(parts[1]), int(parts[2])
+        if shards == 0:
+            serial_rate[n] = bench["items_per_second"]
+        sweep_rows.append((n, shards, bench))
+
+scaling = {}
+for n, shards, bench in sweep_rows:
+    if shards == 0 or n not in serial_rate:
+        continue
+    speedup = bench["items_per_second"] / serial_rate[n]
+    bench["speedup_vs_serial_engine"] = round(speedup, 3)
+    scaling.setdefault(str(n), {})[str(shards)] = round(speedup, 3)
+
+context = raw.setdefault("context", {})
+context["sharded_scaling"] = {
+    "metric": "wall-clock flips/sec, sharded sweep engine vs serial "
+              "run_glauber at the same n (w=4, tau=0.45)",
+    "hardware_threads": context.get("num_cpus"),
+    "speedup_vs_serial": scaling,
+    "note": "speedups are bounded by hardware_threads; a 1-core host "
+            "measures framework overhead only (the >=3x target at "
+            "n=2048/8 shards needs >=4 physical cores)",
+}
 json.dump(raw, open(sys.argv[2], "w"), indent=1)
 print(f"wrote {sys.argv[2]}")
 EOF

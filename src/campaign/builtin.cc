@@ -18,6 +18,7 @@ BuiltinCampaign phase_diagram_campaign(const BuiltinOverrides& overrides) {
   out.spec.tau = {0.30, 0.36, 0.40, 0.44, 0.48, 0.50};
   out.spec.p = {0.50, 0.55, 0.60, 0.70, 0.80, 0.90};
   out.spec.replicas = overrides.replicas > 0 ? overrides.replicas : 3;
+  if (overrides.shards > 0) out.spec.shards = overrides.shards;
   out.spec.region_samples = 16;
   out.spec.metrics = {"mean_mono_region", "fixation", "majority", "flips"};
   out.points = expand_grid(out.spec);
@@ -32,6 +33,7 @@ BuiltinCampaign region_size_campaign(const BuiltinOverrides& overrides) {
   out.spec.tau = {0.45, 0.40, 0.55};
   out.spec.w = {1, 2, 3, 4, 5};
   out.spec.replicas = overrides.replicas > 0 ? overrides.replicas : 3;
+  if (overrides.shards > 0) out.spec.shards = overrides.shards;
   out.spec.region_samples = 24;
   out.spec.almost_eps = 0.1;
   out.spec.metrics = {"mean_mono_region", "mean_almost_region"};

@@ -38,6 +38,9 @@ struct BuiltinOverrides {
   int n = 0;            // grid side (phase_diagram) / box side L (percolation)
   int w = 0;            // horizon (phase_diagram)
   std::size_t replicas = 0;
+  // Lattice shards per Glauber replica (sharded sweep engine); affects
+  // the Schelling-dynamics campaigns only.
+  std::size_t shards = 0;
 };
 
 std::vector<std::string> builtin_campaign_names();

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <limits>
 
+#include "core/parallel_dynamics.h"
+#include "lattice/sharded.h"
+#include "rng/splitmix64.h"
+
 namespace seg {
 namespace {
 
@@ -156,23 +160,50 @@ ReplicaFn make_schelling_replica(const ScenarioSpec& spec) {
   return [spec, fns](const ScenarioPoint& point, std::size_t /*replica*/,
                      std::uint64_t replica_seed) {
     // Stream layout matches the bench convention: 0 = initial
-    // configuration, 1 = dynamics, 2 = measurement sampling.
+    // configuration, 1 = dynamics, 2 = measurement sampling. The sharded
+    // path derives its per-shard substreams from the dynamics stream's
+    // seed (mix_seed(replica_seed, 1)), so they never collide with the
+    // init or measurement streams.
+    const bool sharded =
+        spec.shards > 1 && point.dynamics == DynamicsKind::kGlauber;
     Rng init = Rng::stream(replica_seed, 0);
-    SchellingModel model(point.params, init);
-    Rng dyn = Rng::stream(replica_seed, 1);
+    SchellingModel model =
+        sharded ? SchellingModel(
+                      point.params, init,
+                      ShardLayout::stripes(point.params.n, point.params.w,
+                                           static_cast<int>(spec.shards)))
+                : SchellingModel(point.params, init);
     RunOptions run_options;
     if (spec.max_flips > 0) run_options.max_flips = spec.max_flips;
     RunResult run;
-    switch (point.dynamics) {
-      case DynamicsKind::kGlauber:
-        run = run_glauber(model, dyn, run_options);
-        break;
-      case DynamicsKind::kDiscrete:
-        run = run_discrete(model, dyn, run_options);
-        break;
-      case DynamicsKind::kSynchronous:
-        run = run_synchronous(model, spec.sync_max_rounds, run_options);
-        break;
+    if (sharded) {
+      ParallelOptions parallel_options;
+      // Campaigns parallelize at the *replica* level (the campaign pool),
+      // so each replica's phase A runs single-threaded: with a replica
+      // fleet in flight, outer-level parallelism already saturates the
+      // cores, and nesting a per-replica pool would oversubscribe them.
+      // --shards in a campaign therefore selects the k-shard *process*
+      // (deterministic per k, comparable with the sharded drivers), not
+      // a per-replica speedup; for wall-clock scaling of one giant run
+      // use the drivers (fig1_dynamics --shards, exp_* --shards), which
+      // give the sweep engine the whole machine.
+      parallel_options.threads = 1;
+      parallel_options.max_flips = run_options.max_flips;
+      run = to_run_result(run_parallel_glauber(
+          model, mix_seed(replica_seed, 1), parallel_options));
+    } else {
+      Rng dyn = Rng::stream(replica_seed, 1);
+      switch (point.dynamics) {
+        case DynamicsKind::kGlauber:
+          run = run_glauber(model, dyn, run_options);
+          break;
+        case DynamicsKind::kDiscrete:
+          run = run_discrete(model, dyn, run_options);
+          break;
+        case DynamicsKind::kSynchronous:
+          run = run_synchronous(model, spec.sync_max_rounds, run_options);
+          break;
+      }
     }
     Rng sample = Rng::stream(replica_seed, 2);
     MetricContext ctx(model, run, spec, sample);

@@ -135,6 +135,7 @@ bool ScenarioSpec::valid(std::string* error) const {
     return fail("every grid axis needs at least one value");
   }
   if (replicas == 0) return fail("replicas must be >= 1");
+  if (shards == 0) return fail("shards must be >= 1");
   if (metrics.empty()) return fail("at least one metric is required");
   for (const std::string& m : metrics) {
     if (!lookup_metric(m, nullptr)) return fail("unknown metric: " + m);
@@ -166,6 +167,10 @@ std::string ScenarioSpec::to_text() const {
   for (const DynamicsKind d : dynamics) names.push_back(dynamics_name(d));
   out << "dynamics = " << join_strings(names) << '\n';
   out << "replicas = " << replicas << '\n';
+  // Only non-default shard counts enter the canonical text (and thus the
+  // checkpoint identity hash): serial specs keep their pre-sharding hash,
+  // so their existing checkpoints stay resumable.
+  if (shards != 1) out << "shards = " << shards << '\n';
   out << "max_flips = " << max_flips << '\n';
   out << "sync_max_rounds = " << sync_max_rounds << '\n';
   out << "region_samples = " << region_samples << '\n';
@@ -228,6 +233,10 @@ bool ScenarioSpec::parse(const std::string& text, ScenarioSpec* out,
       std::uint64_t v = 0;
       ok = parse_u64(value, &v) && v > 0;
       spec.replicas = static_cast<std::size_t>(v);
+    } else if (key == "shards") {
+      std::uint64_t v = 0;
+      ok = parse_u64(value, &v) && v > 0;
+      spec.shards = static_cast<std::size_t>(v);
     } else if (key == "max_flips") {
       ok = parse_u64(value, &spec.max_flips);
     } else if (key == "sync_max_rounds") {

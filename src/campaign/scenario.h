@@ -46,6 +46,14 @@ struct ScenarioSpec {
   // Replicas per scenario point.
   std::size_t replicas = 3;
 
+  // Lattice shards per replica (stripe decomposition,
+  // core/parallel_dynamics.h). 1 = the serial engines, bitwise the
+  // legacy trajectories; > 1 runs Glauber replicas through the sharded
+  // sweep engine (other dynamics kinds ignore it). Part of the spec —
+  // and the checkpoint hash — because the k-shard process is a distinct
+  // deterministic trajectory per k.
+  std::size_t shards = 1;
+
   // Per-replica run controls.
   std::uint64_t max_flips = 0;         // 0 = run to absorption
   std::uint64_t sync_max_rounds = 4096;  // synchronous dynamics round cap

@@ -32,12 +32,18 @@ std::pair<std::size_t, std::size_t> unhappy_partition(
   return {plus, model.unhappy_set().size() - plus};
 }
 
+}  // namespace
+
 // Exact absorption check: does any unhappy (+1, -1) pair admit an
-// improving swap? O(U+ * U-) tentative swaps; used sparingly.
+// improving swap? O(U+ * U-) tentative swaps; used sparingly. Walks
+// every shard slice so the certificate is global for sharded models too
+// (a sharded model's no-arg unhappy_set() only sees shard 0).
 bool improving_swap_exists(SchellingModel& model) {
   std::vector<std::uint32_t> plus, minus;
-  for (const std::uint32_t id : model.unhappy_set().items()) {
-    (model.spin(id) > 0 ? plus : minus).push_back(id);
+  for (int shard = 0; shard < model.shard_count(); ++shard) {
+    for (const std::uint32_t id : model.unhappy_set(shard).items()) {
+      (model.spin(id) > 0 ? plus : minus).push_back(id);
+    }
   }
   for (const std::uint32_t a : plus) {
     for (const std::uint32_t b : minus) {
@@ -51,8 +57,6 @@ bool improving_swap_exists(SchellingModel& model) {
   }
   return false;
 }
-
-}  // namespace
 
 KawasakiResult run_kawasaki(SchellingModel& model, Rng& rng,
                             const KawasakiOptions& options) {

@@ -38,4 +38,9 @@ KawasakiResult run_kawasaki(SchellingModel& model, Rng& rng,
 // (a and b must currently hold opposite types.)
 bool swap_improves(SchellingModel& model, std::uint32_t a, std::uint32_t b);
 
+// Exact absorption certificate: does any unhappy opposite-type pair admit
+// an improving swap? O(U+ * U-) tentative swaps, state fully restored.
+// Shared with the sharded sweep engine's between-sweep stale check.
+bool improving_swap_exists(SchellingModel& model);
+
 }  // namespace seg

@@ -27,7 +27,8 @@ std::vector<std::int8_t> random_spins(int n, double p, Rng& rng) {
 }
 
 BinarySpinEngine SchellingModel::make_engine(const ModelParams& params,
-                                            std::vector<std::int8_t> spins) {
+                                            std::vector<std::int8_t> spins,
+                                            ShardLayout layout) {
   assert(params.valid());
   const int N = params.neighborhood_size();
   const int k_plus = params.happy_threshold_of(+1);
@@ -49,7 +50,7 @@ BinarySpinEngine SchellingModel::make_engine(const ModelParams& params,
                           params.shape == NeighborhoodShape::kMoore,
                           neighborhood_offsets(params.shape, params.w),
                           std::move(spins), std::move(table),
-                          /*set_count=*/2);
+                          /*set_count=*/2, std::move(layout));
 }
 
 SchellingModel::SchellingModel(const ModelParams& params, Rng& rng)
@@ -57,11 +58,21 @@ SchellingModel::SchellingModel(const ModelParams& params, Rng& rng)
 
 SchellingModel::SchellingModel(const ModelParams& params,
                                std::vector<std::int8_t> spins)
+    : SchellingModel(params, std::move(spins), ShardLayout()) {}
+
+SchellingModel::SchellingModel(const ModelParams& params, Rng& rng,
+                               ShardLayout layout)
+    : SchellingModel(params, random_spins(params.n, params.p, rng),
+                     std::move(layout)) {}
+
+SchellingModel::SchellingModel(const ModelParams& params,
+                               std::vector<std::int8_t> spins,
+                               ShardLayout layout)
     : params_(params),
       N_(params.neighborhood_size()),
       k_plus_(params.happy_threshold_of(+1)),
       k_minus_(params.happy_threshold_of(-1)),
-      engine_(make_engine(params, std::move(spins))) {}
+      engine_(make_engine(params, std::move(spins), std::move(layout))) {}
 
 std::int8_t SchellingModel::spin_at(int x, int y) const {
   return spins()[static_cast<std::size_t>(torus_wrap(y, params_.n)) *
@@ -98,7 +109,7 @@ std::int64_t SchellingModel::lyapunov() const {
 }
 
 double SchellingModel::happy_fraction() const {
-  return 1.0 - static_cast<double>(unhappy_set().size()) /
+  return 1.0 - static_cast<double>(count_unhappy()) /
                    static_cast<double>(agent_count());
 }
 
@@ -111,8 +122,8 @@ double SchellingModel::plus_fraction() const {
 bool SchellingModel::check_invariants() const {
   if (!engine_.check_invariants()) return false;
   for (std::uint32_t id = 0; id < agent_count(); ++id) {
-    if (unhappy_set().contains(id) != is_unhappy(id)) return false;
-    if (flippable_set().contains(id) != is_flippable(id)) return false;
+    if (in_unhappy_set(id) != is_unhappy(id)) return false;
+    if (in_flippable_set(id) != is_flippable(id)) return false;
   }
   return true;
 }

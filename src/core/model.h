@@ -24,6 +24,7 @@
 #include "grid/point.h"
 #include "lattice/agent_set.h"
 #include "lattice/engine.h"
+#include "lattice/sharded.h"
 #include "rng/rng.h"
 
 namespace seg {
@@ -39,6 +40,14 @@ class SchellingModel {
 
   // Explicit initial configuration; spins must be +1/-1, size n*n.
   SchellingModel(const ModelParams& params, std::vector<std::int8_t> spins);
+
+  // Sharded variants for the parallel sweep engine
+  // (core/parallel_dynamics.h): the unhappy/flippable sets are split per
+  // shard of `layout`. Serial dynamics must not drive a sharded model —
+  // the no-arg set accessors below only see shard 0.
+  SchellingModel(const ModelParams& params, Rng& rng, ShardLayout layout);
+  SchellingModel(const ModelParams& params, std::vector<std::int8_t> spins,
+                 ShardLayout layout);
 
   const ModelParams& params() const { return params_; }
   int side() const { return params_.n; }
@@ -81,6 +90,28 @@ class SchellingModel {
     return engine_.set(kFlippableSet);
   }
 
+  // Sharding interface. shard_count() is 1 for serially-constructed
+  // models, in which case unhappy_set(0)/flippable_set(0) are the
+  // classic global sets.
+  int shard_count() const { return engine_.shard_count(); }
+  const ShardLayout& shard_layout() const { return engine_.layout(); }
+  const AgentSet& unhappy_set(int shard) const {
+    return engine_.set(kUnhappySet, shard);
+  }
+  const AgentSet& flippable_set(int shard) const {
+    return engine_.set(kFlippableSet, shard);
+  }
+  // Shard-routed membership probes (exact at any shard count).
+  bool in_unhappy_set(std::uint32_t id) const {
+    return engine_.in_set(kUnhappySet, id);
+  }
+  bool in_flippable_set(std::uint32_t id) const {
+    return engine_.in_set(kFlippableSet, id);
+  }
+  std::size_t count_flippable() const {
+    return engine_.set_size(kFlippableSet);
+  }
+
   // Flips the spin of `id` and restores all invariants in one window
   // pass; set updates fire only on threshold crossings.
   // Unconditional: dynamics engines only call it on flippable agents, but
@@ -88,15 +119,17 @@ class SchellingModel {
   void flip(std::uint32_t id) { engine_.flip(id); }
 
   // Paper's termination certificate: the process has stopped when no
-  // unhappy agent can become happy by flipping.
-  bool terminated() const { return flippable_set().empty(); }
+  // unhappy agent can become happy by flipping. Aggregates across shards.
+  bool terminated() const { return count_flippable() == 0; }
 
   // Lyapunov function of Sec. II-A ("Termination"): sum over all agents of
   // their same-type neighbor count. Strictly increases with every flip of
   // a flippable agent. O(n^2) to evaluate.
   std::int64_t lyapunov() const;
 
-  std::size_t count_unhappy() const { return unhappy_set().size(); }
+  std::size_t count_unhappy() const {
+    return engine_.set_size(kUnhappySet);
+  }
   // Fraction of agents currently happy.
   double happy_fraction() const;
   // Fraction of +1 agents.
@@ -110,7 +143,8 @@ class SchellingModel {
 
  private:
   static BinarySpinEngine make_engine(const ModelParams& params,
-                                      std::vector<std::int8_t> spins);
+                                      std::vector<std::int8_t> spins,
+                                      ShardLayout layout);
 
   ModelParams params_;
   int N_;        // neighborhood size

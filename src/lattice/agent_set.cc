@@ -5,21 +5,21 @@
 namespace seg {
 
 void AgentSet::insert(std::uint32_t id) {
-  assert(id < pos_.size());
-  if (pos_[id] != kAbsent) return;
-  pos_[id] = static_cast<std::uint32_t>(items_.size());
+  assert(id - base_ < pos_.size());
+  if (pos_[id - base_] != kAbsent) return;
+  pos_[id - base_] = static_cast<std::uint32_t>(items_.size());
   items_.push_back(id);
 }
 
 void AgentSet::erase(std::uint32_t id) {
-  assert(id < pos_.size());
-  const std::uint32_t p = pos_[id];
+  assert(id - base_ < pos_.size());
+  const std::uint32_t p = pos_[id - base_];
   if (p == kAbsent) return;
   const std::uint32_t last = items_.back();
   items_[p] = last;
-  pos_[last] = p;
+  pos_[last - base_] = p;
   items_.pop_back();
-  pos_[id] = kAbsent;
+  pos_[id - base_] = kAbsent;
 }
 
 std::uint32_t AgentSet::sample(Rng& rng) const {

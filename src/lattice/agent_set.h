@@ -19,7 +19,19 @@ class AgentSet {
  public:
   explicit AgentSet(std::size_t capacity) : pos_(capacity, kAbsent) {}
 
-  bool contains(std::uint32_t id) const { return pos_[id] != kAbsent; }
+  // Windowed set over ids in [base, base + capacity): the position table
+  // only spans the window, so a sharded engine whose shards own
+  // contiguous id ranges (row stripes) pays O(sites) total across all
+  // shard slices instead of O(sites * shards). Ids outside the window
+  // must never be inserted/erased/probed.
+  AgentSet(std::size_t capacity, std::uint32_t base)
+      : base_(base), pos_(capacity, kAbsent) {}
+
+  // Safe for any id: out-of-window ids are simply not members.
+  bool contains(std::uint32_t id) const {
+    const std::uint32_t offset = id - base_;
+    return offset < pos_.size() && pos_[offset] != kAbsent;
+  }
   std::size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
 
@@ -33,8 +45,9 @@ class AgentSet {
 
  private:
   static constexpr std::uint32_t kAbsent = 0xffffffffu;
-  std::vector<std::uint32_t> items_;
-  std::vector<std::uint32_t> pos_;
+  std::uint32_t base_ = 0;
+  std::vector<std::uint32_t> items_;  // raw (un-offset) ids
+  std::vector<std::uint32_t> pos_;    // indexed by id - base_
 };
 
 }  // namespace seg

@@ -9,8 +9,11 @@ namespace seg {
 BinarySpinEngine::BinarySpinEngine(int n, int w, bool dense_window,
                                    std::vector<Point> offsets,
                                    std::vector<std::int8_t> spins,
-                                   MembershipTable table, int set_count)
+                                   MembershipTable table, int set_count,
+                                   ShardLayout layout)
     : geometry_(n, w),
+      layout_(std::move(layout)),
+      shard_count_(layout_.shard_count()),
       dense_window_(dense_window),
       set_count_(set_count),
       offsets_(std::move(offsets)),
@@ -22,9 +25,17 @@ BinarySpinEngine::BinarySpinEngine(int n, int w, bool dense_window,
   assert(spins_.size() == geometry_.site_count());
   assert(!dense_window_ ||
          static_cast<int>(offsets_.size()) == geometry_.window_size());
-  sets_.reserve(set_count_);
-  for (int s = 0; s < set_count_; ++s) {
-    sets_.emplace_back(spins_.size());
+  assert(layout_.compatible(n, w));
+  sets_.reserve(static_cast<std::size_t>(set_count_) * shard_count_);
+  for (int i = 0; i < set_count_ * shard_count_; ++i) {
+    // Each shard slice spans only its shard's id window, so sharded set
+    // memory stays O(sites) overall (exactly, for stripe layouts).
+    const auto [base, extent] = layout_.id_window(i % shard_count_);
+    if (extent == 0) {
+      sets_.emplace_back(spins_.size());
+    } else {
+      sets_.emplace_back(extent, base);
+    }
   }
   init_counts();
   init_codes();
@@ -91,6 +102,12 @@ void BinarySpinEngine::init_codes() {
 }
 
 void BinarySpinEngine::flip(std::uint32_t id) {
+  SEG_ASSERT(id < spins_.size(),
+             "flip of out-of-range site " << id << " (lattice has "
+                                          << spins_.size() << " sites)");
+  SEG_ASSERT(spins_[id] == 1 || spins_[id] == -1,
+             "site " << id << " holds corrupt spin "
+                     << static_cast<int>(spins_[id]));
   const std::int8_t old_spin = spins_[id];
   spins_[id] = static_cast<std::int8_t>(-old_spin);
   const std::int32_t delta = old_spin > 0 ? -1 : +1;
@@ -110,6 +127,10 @@ void BinarySpinEngine::flip(std::uint32_t id) {
     const std::int32_t b6 = breaks_[6] - shift;
     const std::int32_t b7 = breaks_[7] - shift;
     geometry_.for_each_span(id, [&](std::size_t base, int len) {
+      SEG_ASSERT(base + static_cast<std::size_t>(len) <= plus_count_.size(),
+                 "window span [" << base << ", " << base + len
+                                 << ") of site " << id
+                                 << " escapes the lattice");
       std::int32_t* cnt = plus_count_.data() + base;
       // The flipped agent itself changes code by changing sign, not by
       // crossing a count boundary — its span always rescans, and the
@@ -173,8 +194,17 @@ bool BinarySpinEngine::check_invariants() const {
     }
     if (plus != plus_count_[id]) return false;
     if (status_[id] != table_.code(spins_[id] > 0, plus)) return false;
+    const int owner = layout_.shard_of(id);
     for (int s = 0; s < set_count_; ++s) {
-      if (sets_[s].contains(id) != ((status_[id] >> s) & 1)) return false;
+      // The membership must live in the owning shard's slice and nowhere
+      // else — a flip routed through the wrong shard would double-count.
+      for (int shard = 0; shard < shard_count_; ++shard) {
+        const bool want =
+            shard == owner && (((status_[id] >> s) & 1) != 0);
+        if (sets_[s * shard_count_ + shard].contains(id) != want) {
+          return false;
+        }
+      }
     }
   }
   return true;

@@ -13,6 +13,15 @@
 // order and set mutations are applied in ascending set index, which
 // reproduces the pre-engine refresh_membership() mutation sequence
 // exactly; golden-seed tests pin this down.
+//
+// Sharding: when constructed with a non-trivial ShardLayout, every
+// logical set is split into one AgentSet per shard and a site's
+// membership always lives in its owning shard's sub-set. Flips at
+// layout-interior sites then touch only that shard's storage (spins,
+// counts, codes, sub-sets), which is what lets the parallel sweep engine
+// (core/parallel_dynamics.h) run interior flips of distinct shards
+// concurrently without locks. With the default trivial layout the engine
+// is bit-for-bit the serial engine of PR 2.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +30,9 @@
 #include "grid/point.h"
 #include "lattice/agent_set.h"
 #include "lattice/membership.h"
+#include "lattice/sharded.h"
 #include "lattice/window.h"
+#include "util/seg_assert.h"
 
 namespace seg {
 
@@ -31,10 +42,11 @@ class BinarySpinEngine {
   // true the stencil must be the full (2w+1)^2 Moore window and flips take
   // the span fast path; otherwise (e.g. von Neumann) flips walk the
   // offsets with wrapped indexing. Spins must be +1/-1, size n*n.
+  // `layout` must be trivial or partition the same torus with margin w.
   BinarySpinEngine(int n, int w, bool dense_window,
                    std::vector<Point> offsets,
                    std::vector<std::int8_t> spins, MembershipTable table,
-                   int set_count);
+                   int set_count, ShardLayout layout = ShardLayout());
 
   int side() const { return geometry_.side(); }
   int radius() const { return geometry_.radius(); }
@@ -50,8 +62,30 @@ class BinarySpinEngine {
   std::uint8_t code(std::uint32_t id) const { return status_[id]; }
   const std::vector<Point>& offsets() const { return offsets_; }
 
-  const AgentSet& set(int s) const { return sets_[s]; }
-  AgentSet& set(int s) { return sets_[s]; }
+  // Shard 0's slice of set s — the whole set under the trivial layout.
+  // Serial callers (every model's hot path) use this form; sharded
+  // engines must address slices explicitly via set(s, shard).
+  const AgentSet& set(int s) const { return sets_[s * shard_count_]; }
+  AgentSet& set(int s) { return sets_[s * shard_count_]; }
+
+  int shard_count() const { return shard_count_; }
+  const ShardLayout& layout() const { return layout_; }
+  const AgentSet& set(int s, int shard) const {
+    return sets_[s * shard_count_ + shard];
+  }
+  AgentSet& set(int s, int shard) { return sets_[s * shard_count_ + shard]; }
+  // Membership of id in logical set s, looked up in its owning shard.
+  bool in_set(int s, std::uint32_t id) const {
+    return sets_[s * shard_count_ + layout_.shard_of(id)].contains(id);
+  }
+  // Total size of logical set s across shards.
+  std::size_t set_size(int s) const {
+    std::size_t total = 0;
+    for (int shard = 0; shard < shard_count_; ++shard) {
+      total += sets_[s * shard_count_ + shard].size();
+    }
+    return total;
+  }
 
   // Negates spins_[id] and restores counts, codes, and set memberships.
   void flip(std::uint32_t id);
@@ -76,13 +110,23 @@ class BinarySpinEngine {
   void init_breaks();
 
   void apply_code(std::uint32_t id, std::uint8_t have, std::uint8_t want) {
+    // One branch on the trivial case keeps the serial hot path free of
+    // the per-row shard lookup.
+    const int shard = shard_count_ == 1 ? 0 : layout_.shard_of(id);
     for (int s = 0; s < set_count_; ++s) {
       const std::uint8_t bit = static_cast<std::uint8_t>(1u << s);
       if ((have ^ want) & bit) {
+        AgentSet& target = sets_[s * shard_count_ + shard];
         if (want & bit) {
-          sets_[s].insert(id);
+          SEG_ASSERT(!target.contains(id),
+                     "site " << id << " already in set " << s << " shard "
+                             << shard << " on insert");
+          target.insert(id);
         } else {
-          sets_[s].erase(id);
+          SEG_ASSERT(target.contains(id),
+                     "site " << id << " absent from set " << s << " shard "
+                             << shard << " on erase");
+          target.erase(id);
         }
       }
     }
@@ -90,6 +134,10 @@ class BinarySpinEngine {
 
   // Updates one site given its new count; shared by both flip paths.
   void touch(std::uint32_t id, std::int32_t new_count) {
+    SEG_ASSERT(new_count >= 0 && new_count <= window_size(),
+               "site " << id << " count " << new_count
+                       << " escaped [0, " << window_size()
+                       << "] after a window update");
     const std::uint8_t want =
         table_.data()[table_.spin_offset(spins_[id]) + new_count];
     const std::uint8_t have = status_[id];
@@ -100,6 +148,8 @@ class BinarySpinEngine {
   }
 
   WindowGeometry geometry_;
+  ShardLayout layout_;
+  int shard_count_;
   bool dense_window_;
   bool sparse_crossings_;
   // Counts c where code(c) != code(c - 1) for either spin sign, padded

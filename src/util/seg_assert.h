@@ -1,0 +1,54 @@
+// Debug-mode invariant assertions for the lattice hot paths.
+//
+// SEG_ASSERT(cond, message_stream) aborts with a formatted report when
+// `cond` fails. The checks are active whenever SEG_DEBUG_CHECKS is on —
+// which is the default in assert-enabled (non-NDEBUG) builds — and
+// compile to nothing in Release, so the flip/reconciliation hot loops pay
+// zero cost in optimized binaries while the fuzz and sanitizer suites get
+// precise failure reports (offending site, span, set index) instead of a
+// silent divergence caught only by a later full recount.
+//
+//   SEG_ASSERT(count >= 0, "site " << id << " count " << count
+//                              << " underflowed in set " << s);
+#pragma once
+
+#if !defined(SEG_DEBUG_CHECKS) && !defined(NDEBUG)
+#define SEG_DEBUG_CHECKS 1
+#endif
+
+#ifdef SEG_DEBUG_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace seg {
+namespace internal {
+
+[[noreturn]] inline void seg_assert_fail(const char* expr, const char* file,
+                                         int line, const std::string& what) {
+  std::fprintf(stderr, "SEG_ASSERT failed at %s:%d: (%s) %s\n", file, line,
+               expr, what.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace seg
+
+#define SEG_ASSERT(cond, message)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream seg_assert_stream_;                             \
+      seg_assert_stream_ << message; /* NOLINT */                        \
+      ::seg::internal::seg_assert_fail(#cond, __FILE__, __LINE__,        \
+                                       seg_assert_stream_.str());        \
+    }                                                                    \
+  } while (0)
+
+#else
+
+#define SEG_ASSERT(cond, message) ((void)0)
+
+#endif  // SEG_DEBUG_CHECKS

@@ -80,6 +80,25 @@ TEST(Scenario, TextRoundTrip) {
   EXPECT_EQ(spec.hash(), back.hash());
 }
 
+TEST(Scenario, ShardsRoundTripAndDefaultKeepsLegacyHash) {
+  // shards = 1 (the default) must stay out of the canonical text so
+  // pre-sharding specs — and their checkpoints, keyed by hash() — are
+  // unaffected; non-default shard counts are part of the identity.
+  ScenarioSpec serial = small_spec();
+  EXPECT_EQ(serial.to_text().find("shards"), std::string::npos);
+  ScenarioSpec sharded = small_spec();
+  sharded.shards = 4;
+  EXPECT_NE(sharded.to_text().find("shards = 4"), std::string::npos);
+  EXPECT_NE(serial.hash(), sharded.hash());
+  ScenarioSpec back;
+  std::string error;
+  ASSERT_TRUE(ScenarioSpec::parse(sharded.to_text(), &back, &error))
+      << error;
+  EXPECT_EQ(back.shards, 4u);
+  EXPECT_EQ(sharded.to_text(), back.to_text());
+  EXPECT_FALSE(ScenarioSpec::parse("shards = 0\n", &back, &error));
+}
+
 TEST(Scenario, ParseRejectsUnknownMetricAndKey) {
   ScenarioSpec spec;
   std::string error;
