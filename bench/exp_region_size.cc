@@ -34,8 +34,8 @@ void report_tau(const seg::BuiltinCampaign& campaign,
   std::printf("\n-- tau = %.3f (%s regime) --\n", tau,
               mono_regime ? "monochromatic, Thm 1"
                           : "almost monochromatic, Thm 2");
-  seg::TablePrinter table(
-      {"w", "N", "E[M]", "log2 E[M]", "E[M']", "log2 E[M']"});
+  seg::TablePrinter table({"w", "N", "E[M]", "log2 E[M]", "E[M']",
+                           "log2 E[M']", "E[C1]", "E[iface]/n^2"});
   std::vector<double> ns, log_m, log_mp;
   for (std::size_t wi = 0; wi < w_count; ++wi) {
     // Grid order: w is an outer axis relative to tau (expand_grid nests
@@ -43,17 +43,29 @@ void report_tau(const seg::BuiltinCampaign& campaign,
     const std::size_t point = wi * tau_count + tau_index;
     const int w = campaign.spec.w[wi];
     const int N = (2 * w + 1) * (2 * w + 1);
+    // The builtin ties the torus side to the horizon; read it off the
+    // expanded point rather than duplicating the formula.
+    const int n = campaign.points[point].params.n;
     const double mean_m =
         result.stats_for(point, "mean_mono_region")->mean();
     const double mean_mp =
         result.stats_for(point, "mean_almost_region")->mean();
+    // Companion observables from the streaming engine: the largest
+    // same-type cluster and the interface (unlike-neighbor bond) energy
+    // density of the absorbing configuration.
+    const double mean_c1 =
+        result.stats_for(point, "streaming_largest_cluster")->mean();
+    const double mean_iface =
+        result.stats_for(point, "streaming_interface_length")->mean();
     table.new_row()
         .add(static_cast<std::int64_t>(w))
         .add(static_cast<std::int64_t>(N))
         .add(mean_m, 1)
         .add(std::log2(mean_m), 3)
         .add(mean_mp, 1)
-        .add(std::log2(mean_mp), 3);
+        .add(std::log2(mean_mp), 3)
+        .add(mean_c1, 1)
+        .add(mean_iface / (static_cast<double>(n) * n), 4);
     ns.push_back(N);
     log_m.push_back(std::log2(mean_m));
     log_mp.push_back(std::log2(mean_mp));

@@ -4,7 +4,10 @@
 // metrics, and prefix-sum construction.
 #include <benchmark/benchmark.h>
 
+#include "analysis/clusters.h"
+#include "analysis/correlation.h"
 #include "analysis/regions.h"
+#include "analysis/streaming.h"
 #include "core/dynamics.h"
 #include "core/model.h"
 #include "core/parallel_dynamics.h"
@@ -128,6 +131,57 @@ BENCHMARK(BM_GlauberSweep)
     // Phase A runs on pool workers whose CPU time the main thread never
     // sees; wall-clock is the only honest basis for the flips/sec rate.
     ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Per-sweep observable recording: one sweep of flip activity (1024
+// flip/flip-back pairs) followed by one measurement of the snapshot
+// observables a trajectory panel wants — cluster statistics, interface
+// energy, and the spatial pair correlation to r = 16. mode 0 recomputes
+// them with the batch O(n^2) rescans (analysis/clusters.h +
+// analysis/correlation.h) — the pre-streaming measurement path; mode 1
+// reads them off the StreamingObservables engine fed by the engine's
+// flip events. Both modes perform identical dynamics work, so the rate
+// gap is purely the per-sweep recording cost; scripts/bench.sh records
+// the ratio in BENCH_core.json (acceptance bar: >= 10x at n = 1024).
+void BM_StreamingObservables(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool streaming_mode = state.range(1) != 0;
+  constexpr int kMaxR = 16;
+  seg::ModelParams params{.n = n, .w = 2, .tau = 0.45, .p = 0.5};
+  seg::Rng rng(8);
+  seg::SchellingModel model(params, rng);
+  seg::StreamingConfig config;
+  config.max_r = kMaxR;
+  seg::StreamingObservables streaming(model.spins(), n, config);
+  if (streaming_mode) model.set_flip_observer(&streaming);
+  const auto sites = static_cast<std::uint32_t>(model.agent_count());
+  std::uint32_t id = 0;
+  constexpr int kPairsPerSweep = 1024;
+  for (auto _ : state) {
+    for (int i = 0; i < kPairsPerSweep; ++i) {
+      model.flip(id);  // flip and flip back: state stays bounded
+      model.flip(id);
+      id = (id + 9973) % sites;
+    }
+    if (streaming_mode) {
+      seg::ClusterStats stats = streaming.cluster_stats();
+      benchmark::DoNotOptimize(stats);
+      std::vector<double> corr = streaming.pair_correlation();
+      benchmark::DoNotOptimize(corr);
+    } else {
+      seg::ClusterStats stats = seg::cluster_stats(model.spins(), n);
+      benchmark::DoNotOptimize(stats);
+      std::vector<double> corr =
+          seg::pair_correlation(model.spins(), n, kMaxR);
+      benchmark::DoNotOptimize(corr);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());  // items == recorded sweeps
+  state.counters["streaming"] = streaming_mode ? 1 : 0;
+}
+BENCHMARK(BM_StreamingObservables)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
     ->Unit(benchmark::kMillisecond);
 
 void BM_BoxSum(benchmark::State& state) {

@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
     if (replicas_override > 0) campaign.spec.replicas = replicas_override;
     if (shards_override > 0) campaign.spec.shards = shards_override;
     campaign.points = seg::expand_grid(campaign.spec);
-    campaign.metric_names = campaign.spec.metrics;
+    campaign.metric_names = seg::expand_metric_names(campaign.spec.metrics);
     campaign.replica = seg::make_schelling_replica(campaign.spec);
   } else {
     const seg::BuiltinOverrides overrides{

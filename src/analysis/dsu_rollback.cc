@@ -1,0 +1,105 @@
+#include "analysis/dsu_rollback.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace seg {
+
+DsuRollback::DsuRollback(std::size_t n, bool logging)
+    : logging_(logging) {
+  reset(n);
+}
+
+void DsuRollback::ensure_storage(std::size_t n) {
+  if (parent_.size() < n) {
+    parent_.resize(n, 0);
+    size_.resize(n, 0);
+    stamp_.resize(n, 0);
+  }
+}
+
+std::uint32_t DsuRollback::grow() {
+  const auto id = static_cast<std::uint32_t>(count_++);
+  ensure_storage(count_);
+  stamp_[id] = epoch_;
+  parent_[id] = id;
+  size_[id] = 1;
+  if (logging_) log_.push_back(Entry{Op::kGrow, id, id, 0});
+  return id;
+}
+
+std::uint32_t DsuRollback::find(std::uint32_t v) {
+  assert(v < count_);
+  refresh(v);
+  // Any non-trivial parent link was written in the current epoch, so the
+  // chain above v needs no refresh.
+  if (logging_) {
+    // No compression: a rollback may detach any interior node, and a
+    // compressed link would silently survive it.
+    while (parent_[v] != v) v = parent_[v];
+    return v;
+  }
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool DsuRollback::unite(std::uint32_t a, std::uint32_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) {
+    const std::uint32_t t = a;
+    a = b;
+    b = t;
+  }
+  if (logging_) log_.push_back(Entry{Op::kUnion, b, a, size_[b]});
+  parent_[b] = a;
+  size_[a] += size_[b];
+  return true;
+}
+
+void DsuRollback::adjust_size(std::uint32_t root, std::int64_t delta) {
+  assert(root < count_);
+  refresh(root);
+  assert(parent_[root] == root && "adjust_size target must be a root");
+  size_[root] += delta;
+  if (logging_) log_.push_back(Entry{Op::kAdjust, root, root, delta});
+}
+
+void DsuRollback::rollback(std::size_t mark) {
+  assert(mark <= log_.size());
+  while (log_.size() > mark) {
+    const Entry e = log_.back();
+    log_.pop_back();
+    switch (e.op) {
+      case Op::kUnion:
+        parent_[e.child] = e.child;
+        size_[e.parent] -= e.delta;
+        break;
+      case Op::kAdjust:
+        size_[e.child] -= e.delta;
+        break;
+      case Op::kGrow:
+        --count_;
+        break;
+    }
+  }
+}
+
+void DsuRollback::reset(std::size_t n) {
+  ++epoch_;
+  if (epoch_ == 0) {
+    // Stamp wrap after ~4e9 resets: hard-clear so stale stamps cannot
+    // alias the new epoch.
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+  count_ = n;
+  ensure_storage(n);
+  log_.clear();
+}
+
+}  // namespace seg

@@ -1,0 +1,100 @@
+// Disjoint-set union built for *streaming* cluster maintenance: nodes are
+// allocated from a growable arena, unions are by size without path
+// compression so every mutation is invertible, and three operations the
+// classic UnionFind (grid/union_find.h) lacks make it suitable as the
+// backbone of analysis/streaming.h:
+//
+//  * checkpoint()/rollback(mark) — every unite/grow/adjust_size is pushed
+//    onto an undo log; rolling back to a mark restores the exact forest,
+//    which lets callers probe tentative mutations (e.g. what-if flips)
+//    without copying the structure.
+//  * reset(n) — epoch-stamped O(1) wholesale reset to n fresh singletons,
+//    the primitive behind the streaming engine's epoch-based rebuilds:
+//    a rebuild pays one pass over the lattice, never a per-node clear of
+//    the arena.
+//  * adjust_size(root, delta) — cluster sizes are maintained by the
+//    caller across element *removals* (a DSU cannot delete), so root
+//    sizes must be externally adjustable yet still participate in
+//    union-by-size and rollback.
+//
+// find() is O(log n) worst case (union-by-size, no compression); all
+// mutations are O(1) plus one log entry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace seg {
+
+class DsuRollback {
+ public:
+  // `logging` enables the undo log (checkpoint/rollback). With logging
+  // off, mutations skip the log and find() applies path halving — the
+  // compression is only unsafe when a rollback could detach a node other
+  // finds were compressed through, so the no-log mode trades rollback
+  // for near-O(alpha) finds (what the streaming engine wants: it only
+  // ever resets, never rolls back).
+  explicit DsuRollback(std::size_t n = 0, bool logging = true);
+
+  std::size_t node_count() const { return count_; }
+
+  // Appends a fresh singleton node and returns its id.
+  std::uint32_t grow();
+
+  // Representative of v's component. Mutating only lazily (epoch
+  // refresh), so logically const; no path compression.
+  std::uint32_t find(std::uint32_t v);
+
+  // Size-weighted union; returns true if the roots differed.
+  bool unite(std::uint32_t a, std::uint32_t b);
+
+  // Component size of v's root. Can be zero or negative only if the
+  // caller's adjust_size bookkeeping made it so.
+  std::int64_t size_of(std::uint32_t v) { return size_[find(v)]; }
+
+  // Adds delta to a root's stored size (the caller models element
+  // removals this way). `root` must be its own representative.
+  void adjust_size(std::uint32_t root, std::int64_t delta);
+
+  bool logging() const { return logging_; }
+
+  // Undo-log mark for the current state. Requires logging.
+  std::size_t checkpoint() const { return log_.size(); }
+
+  // Rolls every mutation after `mark` back, newest first.
+  void rollback(std::size_t mark);
+
+  // O(1) reset to n fresh singletons (plus amortized storage growth).
+  // Clears the undo log: checkpoints do not survive a reset.
+  void reset(std::size_t n);
+
+ private:
+  enum class Op : std::uint8_t { kUnion, kAdjust, kGrow };
+  struct Entry {
+    Op op;
+    std::uint32_t child = 0;   // kUnion: absorbed root; kAdjust: root
+    std::uint32_t parent = 0;  // kUnion: surviving root
+    std::int64_t delta = 0;    // kUnion: absorbed size; kAdjust: delta
+  };
+
+  // Epoch-lazy materialization: a node whose stamp predates the current
+  // epoch is implicitly a fresh singleton.
+  void refresh(std::uint32_t v) {
+    if (stamp_[v] != epoch_) {
+      stamp_[v] = epoch_;
+      parent_[v] = v;
+      size_[v] = 1;
+    }
+  }
+  void ensure_storage(std::size_t n);
+
+  std::size_t count_ = 0;
+  bool logging_ = true;
+  std::uint32_t epoch_ = 1;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::int64_t> size_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<Entry> log_;
+};
+
+}  // namespace seg

@@ -36,14 +36,19 @@ BuiltinCampaign region_size_campaign(const BuiltinOverrides& overrides) {
   if (overrides.shards > 0) out.spec.shards = overrides.shards;
   out.spec.region_samples = 24;
   out.spec.almost_eps = 0.1;
-  out.spec.metrics = {"mean_mono_region", "mean_almost_region"};
+  // The cluster/interface companions to the region metrics come from the
+  // streaming engine — tracked over the whole trajectory in O(1) per
+  // flip, never by an end-state rescan.
+  out.spec.metrics = {"mean_mono_region", "mean_almost_region",
+                      "streaming_largest_cluster",
+                      "streaming_interface_length"};
   out.points = expand_grid(out.spec);
   // The bench ties the torus side to the horizon so the grid stays large
   // relative to the neighborhood: n = max(64, 24w).
   for (ScenarioPoint& pt : out.points) {
     pt.params.n = std::max(64, 24 * pt.params.w);
   }
-  out.metric_names = out.spec.metrics;
+  out.metric_names = expand_metric_names(out.spec.metrics);
   out.replica = make_schelling_replica(out.spec);
   return out;
 }

@@ -239,7 +239,7 @@ CampaignResult run_campaign(const ScenarioSpec& spec,
 
 CampaignResult run_campaign(const ScenarioSpec& spec, std::uint64_t seed,
                             const CampaignOptions& options) {
-  return run_campaign(spec, expand_grid(spec), spec.metrics,
+  return run_campaign(spec, expand_grid(spec), expand_metric_names(spec.metrics),
                       make_schelling_replica(spec), seed, options);
 }
 

@@ -3,13 +3,17 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "analysis/streaming.h"
 #include "core/parallel_dynamics.h"
 #include "lattice/sharded.h"
 #include "rng/splitmix64.h"
 
 namespace seg {
 namespace {
+
+double nan_metric() { return std::numeric_limits<double>::quiet_NaN(); }
 
 double metric_flips(MetricContext& ctx) {
   return static_cast<double>(ctx.run.flips);
@@ -75,6 +79,47 @@ double metric_interface_length(MetricContext& ctx) {
   return static_cast<double>(ctx.clusters().interface_length);
 }
 
+// ---- streaming observables (O(1) reads off the attached engine) ----
+
+double metric_streaming_magnetization(MetricContext& ctx) {
+  return ctx.streaming
+             ? static_cast<double>(ctx.streaming->magnetization())
+             : nan_metric();
+}
+
+double metric_streaming_interface(MetricContext& ctx) {
+  return ctx.streaming
+             ? static_cast<double>(ctx.streaming->interface_length())
+             : nan_metric();
+}
+
+double metric_streaming_cluster_count(MetricContext& ctx) {
+  return ctx.streaming
+             ? static_cast<double>(ctx.streaming->cluster_count())
+             : nan_metric();
+}
+
+double metric_streaming_largest_cluster(MetricContext& ctx) {
+  return ctx.streaming
+             ? static_cast<double>(ctx.streaming->largest_cluster())
+             : nan_metric();
+}
+
+double metric_streaming_mean_cluster_size(MetricContext& ctx) {
+  return ctx.streaming ? ctx.streaming->mean_cluster_size() : nan_metric();
+}
+
+double metric_streaming_autocorr_lag1(MetricContext& ctx) {
+  return ctx.streaming ? ctx.streaming->autocorrelation(1) : nan_metric();
+}
+
+// The group the "streaming" pseudo-metric expands to, in column order.
+constexpr const char* kStreamingGroup[] = {
+    "streaming_magnetization",      "streaming_interface_length",
+    "streaming_cluster_count",      "streaming_largest_cluster",
+    "streaming_mean_cluster_size",  "streaming_autocorr_lag1",
+};
+
 struct MetricEntry {
   const char* name;
   MetricFn fn;
@@ -99,6 +144,12 @@ constexpr MetricEntry kRegistry[] = {
     {"cluster_count", metric_cluster_count},
     {"mean_cluster_size", metric_mean_cluster_size},
     {"interface_length", metric_interface_length},
+    {"streaming_magnetization", metric_streaming_magnetization},
+    {"streaming_interface_length", metric_streaming_interface},
+    {"streaming_cluster_count", metric_streaming_cluster_count},
+    {"streaming_largest_cluster", metric_streaming_largest_cluster},
+    {"streaming_mean_cluster_size", metric_streaming_mean_cluster_size},
+    {"streaming_autocorr_lag1", metric_streaming_autocorr_lag1},
 };
 
 }  // namespace
@@ -120,7 +171,10 @@ const AlmostMonoField& MetricContext::almost() {
 
 const ClusterStats& MetricContext::clusters() {
   if (!clusters_) {
-    clusters_ = std::make_unique<ClusterStats>(cluster_stats(model));
+    // The streaming engine tracked the whole run incrementally, so the
+    // O(n^2) rescan is replaced by an O(1) read when one is attached.
+    clusters_ = std::make_unique<ClusterStats>(
+        streaming ? streaming->cluster_stats() : cluster_stats(model));
   }
   return *clusters_;
 }
@@ -141,10 +195,28 @@ std::vector<std::string> known_metrics() {
   return names;
 }
 
+std::vector<std::string> expand_metric_names(
+    const std::vector<std::string>& metrics) {
+  std::vector<std::string> out;
+  out.reserve(metrics.size());
+  for (const std::string& name : metrics) {
+    if (name == "streaming") {
+      for (const char* member : kStreamingGroup) out.emplace_back(member);
+    } else {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
 ReplicaFn make_schelling_replica(const ScenarioSpec& spec) {
+  const std::vector<std::string> expanded =
+      expand_metric_names(spec.metrics);
+  bool needs_streaming = false;
   std::vector<MetricFn> fns;
-  fns.reserve(spec.metrics.size());
-  for (const std::string& name : spec.metrics) {
+  fns.reserve(expanded.size());
+  for (const std::string& name : expanded) {
+    needs_streaming |= name.rfind("streaming_", 0) == 0;
     MetricFn fn = nullptr;
     const bool known = lookup_metric(name, &fn);
     assert(known && "unknown metric; validate the spec before running");
@@ -157,8 +229,9 @@ ReplicaFn make_schelling_replica(const ScenarioSpec& spec) {
     }
     fns.push_back(fn);
   }
-  return [spec, fns](const ScenarioPoint& point, std::size_t /*replica*/,
-                     std::uint64_t replica_seed) {
+  return [spec, fns, needs_streaming](const ScenarioPoint& point,
+                                      std::size_t /*replica*/,
+                                      std::uint64_t replica_seed) {
     // Stream layout matches the bench convention: 0 = initial
     // configuration, 1 = dynamics, 2 = measurement sampling. The sharded
     // path derives its per-shard substreams from the dynamics stream's
@@ -173,6 +246,23 @@ ReplicaFn make_schelling_replica(const ScenarioSpec& spec) {
                       ShardLayout::stripes(point.params.n, point.params.w,
                                            static_cast<int>(spec.shards)))
                 : SchellingModel(point.params, init);
+    // The streaming engine (when any streaming_* metric is requested)
+    // subscribes to the dynamics' flip events and replaces every
+    // measurement rescan; it consumes no RNG, so the trajectory is
+    // bitwise the one an unmeasured run produces.
+    std::unique_ptr<StreamingObservables> streaming;
+    if (needs_streaming) {
+      StreamingConfig streaming_config;
+      streaming_config.autocorr_window = 64;
+      streaming = std::make_unique<StreamingObservables>(
+          model.spins(), point.params.n, streaming_config);
+    }
+    const std::uint64_t sample_every =
+        spec.streaming_sample_every > 0
+            ? spec.streaming_sample_every
+            : std::max<std::uint64_t>(
+                  1, static_cast<std::uint64_t>(point.params.n) *
+                         point.params.n / 64);
     RunOptions run_options;
     if (spec.max_flips > 0) run_options.max_flips = spec.max_flips;
     RunResult run;
@@ -189,9 +279,20 @@ ReplicaFn make_schelling_replica(const ScenarioSpec& spec) {
       // give the sweep engine the whole machine.
       parallel_options.threads = 1;
       parallel_options.max_flips = run_options.max_flips;
+      parallel_options.streaming = streaming.get();
+      parallel_options.streaming_sample_every = sample_every;
       run = to_run_result(run_parallel_glauber(
           model, mix_seed(replica_seed, 1), parallel_options));
     } else {
+      if (streaming) {
+        model.set_flip_observer(streaming.get());
+        run_options.snapshot_every = sample_every;
+        StreamingObservables* sink = streaming.get();
+        run_options.on_snapshot = [sink](const SchellingModel&,
+                                         std::uint64_t, double) {
+          sink->record_sample();
+        };
+      }
       Rng dyn = Rng::stream(replica_seed, 1);
       switch (point.dynamics) {
         case DynamicsKind::kGlauber:
@@ -204,9 +305,10 @@ ReplicaFn make_schelling_replica(const ScenarioSpec& spec) {
           run = run_synchronous(model, spec.sync_max_rounds, run_options);
           break;
       }
+      model.set_flip_observer(nullptr);
     }
     Rng sample = Rng::stream(replica_seed, 2);
-    MetricContext ctx(model, run, spec, sample);
+    MetricContext ctx(model, run, spec, sample, streaming.get());
     std::vector<double> values;
     values.reserve(fns.size());
     for (const MetricFn fn : fns) values.push_back(fn(ctx));

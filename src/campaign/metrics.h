@@ -22,19 +22,31 @@
 
 namespace seg {
 
+class StreamingObservables;
+
 // Everything a metric may observe about a finished replica. Sampling
 // estimators draw from `sample_rng`, a stream dedicated to measurement so
 // metric evaluation never perturbs the dynamics.
 class MetricContext {
  public:
   MetricContext(const SchellingModel& model, const RunResult& run,
-                const ScenarioSpec& spec, Rng& sample_rng)
-      : model(model), run(run), spec(spec), sample_rng(sample_rng) {}
+                const ScenarioSpec& spec, Rng& sample_rng,
+                const StreamingObservables* streaming = nullptr)
+      : model(model),
+        run(run),
+        spec(spec),
+        sample_rng(sample_rng),
+        streaming(streaming) {}
 
   const SchellingModel& model;
   const RunResult& run;
   const ScenarioSpec& spec;
   Rng& sample_rng;
+  // Streaming engine that tracked the replica's dynamics; nullptr when no
+  // streaming metric was requested. The streaming_* metrics read it, and
+  // clusters() is served from it in O(1) when present (the differential
+  // suite pins streaming == batch, so the values are identical).
+  const StreamingObservables* streaming;
 
   // Lazily computed, cached for the lifetime of the replica.
   const MonoRegionField& mono();
@@ -54,6 +66,13 @@ bool lookup_metric(const std::string& name, MetricFn* fn);
 
 // Registry names, in registry order.
 std::vector<std::string> known_metrics();
+
+// Replaces the "streaming" pseudo-metric with the streaming observable
+// group, in group order; every other name passes through unchanged. The
+// campaign engine and sinks must be given the expanded list — the
+// replica's value vector is parallel to it.
+std::vector<std::string> expand_metric_names(
+    const std::vector<std::string>& metrics);
 
 // Builds the engine ReplicaFn for the built-in Schelling model: constructs
 // the model from the point's params, runs the point's dynamics, then

@@ -137,7 +137,7 @@ bool ScenarioSpec::valid(std::string* error) const {
   if (replicas == 0) return fail("replicas must be >= 1");
   if (shards == 0) return fail("shards must be >= 1");
   if (metrics.empty()) return fail("at least one metric is required");
-  for (const std::string& m : metrics) {
+  for (const std::string& m : expand_metric_names(metrics)) {
     if (!lookup_metric(m, nullptr)) return fail("unknown metric: " + m);
   }
   for (const ScenarioPoint& pt : expand_grid(*this)) {
@@ -172,6 +172,11 @@ std::string ScenarioSpec::to_text() const {
   // so their existing checkpoints stay resumable.
   if (shards != 1) out << "shards = " << shards << '\n';
   out << "max_flips = " << max_flips << '\n';
+  // Like shards: only a non-default cadence enters the canonical text,
+  // so pre-streaming specs keep their checkpoint identity.
+  if (streaming_sample_every != 0) {
+    out << "streaming_sample_every = " << streaming_sample_every << '\n';
+  }
   out << "sync_max_rounds = " << sync_max_rounds << '\n';
   out << "region_samples = " << region_samples << '\n';
   out << "almost_eps = " << format_double(almost_eps) << '\n';
@@ -239,6 +244,8 @@ bool ScenarioSpec::parse(const std::string& text, ScenarioSpec* out,
       spec.shards = static_cast<std::size_t>(v);
     } else if (key == "max_flips") {
       ok = parse_u64(value, &spec.max_flips);
+    } else if (key == "streaming_sample_every") {
+      ok = parse_u64(value, &spec.streaming_sample_every);
     } else if (key == "sync_max_rounds") {
       ok = parse_u64(value, &spec.sync_max_rounds);
     } else if (key == "region_samples") {

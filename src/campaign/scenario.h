@@ -60,7 +60,18 @@ struct ScenarioSpec {
   std::size_t region_samples = 16;     // sampled agents for E[M] estimators
   double almost_eps = 0.1;             // epsilon for almost-mono regions
 
+  // Flip interval between magnetization time-autocorrelation samples
+  // when streaming metrics are active; 0 = auto (n^2 / 64). Only enters
+  // the canonical text (and checkpoint hash) when nonzero.
+  std::uint64_t streaming_sample_every = 0;
+
   // Names resolved against the metric registry (campaign/metrics.h).
+  // The pseudo-metric "streaming" expands to the full streaming
+  // observable group (expand_metric_names); any "streaming_*" metric
+  // attaches a StreamingObservables engine to the replica's dynamics, and
+  // the cluster-derived built-ins (largest_cluster, cluster_count,
+  // mean_cluster_size, interface_length) are then served from it in O(1)
+  // instead of by an O(n^2) rescan.
   std::vector<std::string> metrics = {"flips", "fixation", "majority",
                                       "mean_mono_region"};
 

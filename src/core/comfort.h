@@ -85,6 +85,12 @@ class ComfortModel {
 
   void flip(std::uint32_t id) { engine_.flip(id); }
 
+  // Streaming-measurement hook (serial dynamics only; see the
+  // FlipObserver contract in lattice/engine.h).
+  void set_flip_observer(FlipObserver* observer) {
+    engine_.set_observer(observer);
+  }
+
   bool check_invariants() const;
 
  private:

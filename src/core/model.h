@@ -118,6 +118,14 @@ class SchellingModel {
   // the firewall/adversarial experiments may force arbitrary flips.
   void flip(std::uint32_t id) { engine_.flip(id); }
 
+  // Streaming-measurement hook: the observer fires after every flip (see
+  // the FlipObserver contract in lattice/engine.h). Serial dynamics only;
+  // sharded sweeps must use ParallelOptions::streaming instead.
+  void set_flip_observer(FlipObserver* observer) {
+    engine_.set_observer(observer);
+  }
+  FlipObserver* flip_observer() const { return engine_.observer(); }
+
   // Paper's termination certificate: the process has stopped when no
   // unhappy agent can become happy by flipping. Aggregates across shards.
   bool terminated() const { return count_flippable() == 0; }

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/streaming.h"
 #include "core/kawasaki.h"
 #include "util/seg_assert.h"
 #include "util/thread_pool.h"
@@ -42,18 +43,24 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
                                        const ParallelOptions& options) {
   const int k = model.shard_count();
   const ShardLayout& layout = model.shard_layout();
+  StreamingObservables* streaming = options.streaming;
+  SEG_ASSERT(model.flip_observer() == nullptr || k == 1,
+             "engine-level flip observer attached to a " << k
+                 << "-shard model: phase A is concurrent; route streaming "
+                    "measurement through ParallelOptions::streaming");
 
   struct ShardState {
     Rng rng;
     std::vector<std::uint32_t> queue;  // deferred boundary draws
-    std::uint64_t flips = 0;           // this sweep
-    std::uint64_t deferred = 0;        // this sweep
-    double time = 0.0;                 // shard-local Poisson clock
+    std::vector<std::uint32_t> events;  // applied flips, for streaming
+    std::uint64_t flips = 0;            // this sweep
+    std::uint64_t deferred = 0;         // this sweep
+    double time = 0.0;                  // shard-local Poisson clock
   };
   std::vector<ShardState> shards;
   shards.reserve(k);
   for (int s = 0; s < k; ++s) {
-    shards.push_back(ShardState{Rng::stream(seed, s), {}, 0, 0, 0.0});
+    shards.push_back(ShardState{Rng::stream(seed, s), {}, {}, 0, 0, 0.0});
   }
 
   const std::uint64_t quantum =
@@ -63,6 +70,8 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
 
   ThreadPool pool(pool_width(options.threads, k));
   ParallelRunResult result;
+  std::vector<std::uint32_t> reconciled_events;
+  std::uint64_t flips_since_sample = 0;
 
   while (!model.terminated() && result.flips < options.max_flips &&
          result.sweeps < options.max_sweeps) {
@@ -90,6 +99,7 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
         }
         model.flip(id);
         ++st.flips;
+        if (streaming != nullptr) st.events.push_back(id);
       }
     });
 
@@ -114,9 +124,33 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
           model.flip(id);
           ++result.reconciled;
           ++result.flips;
+          if (streaming != nullptr) reconciled_events.push_back(id);
         }
       }
       st.queue.clear();
+    }
+    if (streaming != nullptr) {
+      // Drain the sweep's events serially: phase-A logs in shard order
+      // (interior sites, disjoint across shards and from the boundary
+      // sites phase B touches, so per-site ordering is preserved), then
+      // the reconciled boundary flips in application order. Samples are
+      // taken on the replayed stream every `streaming_sample_every`
+      // flips (or once per sweep when 0), deterministically.
+      const auto drain = [&](std::uint32_t id) {
+        streaming->apply_flip(id);
+        if (options.streaming_sample_every > 0 &&
+            ++flips_since_sample >= options.streaming_sample_every) {
+          flips_since_sample = 0;
+          streaming->record_sample();
+        }
+      };
+      for (ShardState& st : shards) {
+        for (const std::uint32_t id : st.events) drain(id);
+        st.events.clear();
+      }
+      for (const std::uint32_t id : reconciled_events) drain(id);
+      reconciled_events.clear();
+      if (options.streaming_sample_every == 0) streaming->record_sample();
     }
     ++result.sweeps;
   }

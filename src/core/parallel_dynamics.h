@@ -44,10 +44,26 @@
 
 namespace seg {
 
+class StreamingObservables;
+
 struct ParallelOptions {
   // Worker threads for phase A; 0 = hardware concurrency. The pool is
   // additionally capped at the shard count.
   std::size_t threads = 0;
+  // Streaming measurement sink (analysis/streaming.h). Phase-A workers
+  // append applied flips to per-shard event logs (no shared writes); the
+  // logs are drained into the sink serially at every reconciliation
+  // barrier in ascending shard order, followed by the reconciled flips
+  // in application order. The sink therefore sees a deterministic event
+  // stream (per shard count, at any thread count) whose final state is
+  // exactly the engine's. Do NOT additionally attach the sink as the
+  // engine's FlipObserver — phase A is concurrent.
+  StreamingObservables* streaming = nullptr;
+  // Flips between time-autocorrelation samples recorded into `streaming`
+  // (counted on the replayed stream, so deterministic); 0 = one sample
+  // per reconciliation sweep. Matches the serial RunOptions cadence
+  // (snapshot_every) when set to the same value.
+  std::uint64_t streaming_sample_every = 0;
   // Stop once at least this many flips were performed. Exact for one
   // shard; at k > 1 the budget is split per sweep, so a run may overshoot
   // by up to (shards - 1) * sweep_quantum flips.

@@ -101,7 +101,7 @@ void BinarySpinEngine::init_codes() {
   }
 }
 
-void BinarySpinEngine::flip(std::uint32_t id) {
+void BinarySpinEngine::flip_impl(std::uint32_t id) {
   SEG_ASSERT(id < spins_.size(),
              "flip of out-of-range site " << id << " (lattice has "
                                           << spins_.size() << " sites)");

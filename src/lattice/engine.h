@@ -36,6 +36,24 @@
 
 namespace seg {
 
+// Flip-event subscriber (analysis/streaming.h implements it). The engine
+// invokes on_flip() after every completed flip — counts, codes, and set
+// memberships are already restored when the callback runs, and spin(id)
+// holds the new value. Observers must not mutate the engine from inside
+// the callback.
+//
+// Thread-safety contract: the callback fires on whichever thread called
+// flip(). The sharded sweep engine (core/parallel_dynamics.h) runs
+// phase-A flips concurrently, so an engine-level observer must NOT be
+// attached to a sharded engine driven by the parallel sweeps — use
+// ParallelOptions::streaming, which logs per-shard flip events and
+// replays them serially at each reconciliation barrier instead.
+class FlipObserver {
+ public:
+  virtual ~FlipObserver() = default;
+  virtual void on_flip(std::uint32_t id, std::int8_t new_spin) = 0;
+};
+
 class BinarySpinEngine {
  public:
   // `offsets` is the full stencil including (0,0). When `dense_window` is
@@ -87,8 +105,17 @@ class BinarySpinEngine {
     return total;
   }
 
-  // Negates spins_[id] and restores counts, codes, and set memberships.
-  void flip(std::uint32_t id);
+  // Negates spins_[id] and restores counts, codes, and set memberships,
+  // then notifies the attached observer (if any).
+  void flip(std::uint32_t id) {
+    flip_impl(id);
+    if (observer_ != nullptr) observer_->on_flip(id, spins_[id]);
+  }
+
+  // At most one observer; nullptr detaches. See the FlipObserver contract
+  // above for the threading rules.
+  void set_observer(FlipObserver* observer) { observer_ = observer; }
+  FlipObserver* observer() const { return observer_; }
 
   // Full recount audit: counts match the stencil, codes match the table,
   // memberships match the codes. O(n^2 N).
@@ -108,6 +135,7 @@ class BinarySpinEngine {
   void init_counts();
   void init_codes();
   void init_breaks();
+  void flip_impl(std::uint32_t id);
 
   void apply_code(std::uint32_t id, std::uint8_t have, std::uint8_t want) {
     // One branch on the trivial case keeps the serial hot path free of
@@ -162,6 +190,7 @@ class BinarySpinEngine {
   std::vector<std::int32_t> plus_count_;
   std::vector<std::uint8_t> status_;
   std::vector<AgentSet> sets_;
+  FlipObserver* observer_ = nullptr;
 };
 
 }  // namespace seg

@@ -49,9 +49,15 @@ double RunningStats::sem() const {
 double RunningStats::ci95_half_width() const { return 1.96 * sem(); }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
-      counts_(bins, 0) {
-  assert(hi > lo && bins > 0);
+    : lo_(lo), hi_(hi) {
+  // Fail safe: bins == 0 would otherwise make add() index
+  // counts_[size - 1] == counts_[SIZE_MAX], and hi <= lo would put every
+  // in-range observation into a negative bin index. Degenerate
+  // parameters collapse to a single bin over a unit range.
+  if (bins == 0) bins = 1;
+  if (!(hi_ > lo_)) hi_ = lo_ + 1.0;
+  width_ = (hi_ - lo_) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
 }
 
 void Histogram::add(double x) {
@@ -70,10 +76,13 @@ void Histogram::add(double x) {
 }
 
 void Histogram::merge(const Histogram& other) {
-  assert(lo_ == other.lo_ && hi_ == other.hi_ &&
-         counts_.size() == other.counts_.size());
-  // Fail closed in release builds: merging mismatched binnings would read
-  // out of bounds and produce garbage counts.
+  // An empty accumulator merges as a no-op regardless of its binning —
+  // the parallel fold's identity element, mirroring RunningStats::merge.
+  if (other.total_ == 0) return;
+  // Fail closed on mismatched binnings in every build type: merging them
+  // would read out of bounds and produce garbage counts, and the edge
+  // cases are pinned by tests, so the behavior must not differ between
+  // the sanitizer (Debug) and production (Release) builds.
   if (lo_ != other.lo_ || hi_ != other.hi_ ||
       counts_.size() != other.counts_.size()) {
     return;

@@ -47,12 +47,16 @@ class RunningStats {
 // Fixed-range histogram with uniform bins plus underflow/overflow counters.
 class Histogram {
  public:
+  // Degenerate parameters fail safe: bins == 0 is clamped to one bin and
+  // hi <= lo to the unit range [lo, lo + 1).
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
   // Combines another accumulator over the same binning (same lo/hi/bins);
-  // the per-thread counterpart of RunningStats::merge. A mismatched
-  // binning asserts in debug builds and is ignored in release builds.
+  // the per-thread counterpart of RunningStats::merge. An empty `other`
+  // is a no-op whatever its binning (the fold's identity element); a
+  // non-empty mismatched binning is ignored (fail closed) in every
+  // build type.
   void merge(const Histogram& other);
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }

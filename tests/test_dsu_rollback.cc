@@ -1,0 +1,152 @@
+// Unit tests for the rollback/epoch DSU behind the streaming observables
+// engine: union-by-size forests, checkpoint/rollback inversion, external
+// size adjustment, grow, and the O(1) epoch reset.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/dsu_rollback.h"
+#include "rng/rng.h"
+
+namespace seg {
+namespace {
+
+TEST(DsuRollback, SingletonsAtConstruction) {
+  DsuRollback dsu(8);
+  EXPECT_EQ(dsu.node_count(), 8u);
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(dsu.find(v), v);
+    EXPECT_EQ(dsu.size_of(v), 1);
+  }
+}
+
+TEST(DsuRollback, UniteBySizeTracksComponents) {
+  DsuRollback dsu(6);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_TRUE(dsu.unite(0, 2));
+  EXPECT_FALSE(dsu.unite(1, 3));  // already joined
+  EXPECT_EQ(dsu.find(1), dsu.find(3));
+  EXPECT_EQ(dsu.size_of(3), 4);
+  EXPECT_EQ(dsu.size_of(4), 1);
+  EXPECT_NE(dsu.find(4), dsu.find(0));
+}
+
+TEST(DsuRollback, RollbackRestoresPartitionAndSizes) {
+  DsuRollback dsu(10);
+  dsu.unite(0, 1);
+  dsu.unite(2, 3);
+  const std::size_t mark = dsu.checkpoint();
+  dsu.unite(0, 2);
+  dsu.unite(4, 5);
+  dsu.adjust_size(dsu.find(0), -1);
+  EXPECT_EQ(dsu.find(1), dsu.find(3));
+  dsu.rollback(mark);
+  EXPECT_EQ(dsu.find(0), dsu.find(1));
+  EXPECT_EQ(dsu.find(2), dsu.find(3));
+  EXPECT_NE(dsu.find(1), dsu.find(3));
+  EXPECT_NE(dsu.find(4), dsu.find(5));
+  EXPECT_EQ(dsu.size_of(0), 2);
+  EXPECT_EQ(dsu.size_of(2), 2);
+  EXPECT_EQ(dsu.size_of(4), 1);
+}
+
+TEST(DsuRollback, RollbackUndoesGrow) {
+  DsuRollback dsu(3);
+  const std::size_t mark = dsu.checkpoint();
+  const std::uint32_t a = dsu.grow();
+  const std::uint32_t b = dsu.grow();
+  EXPECT_EQ(a, 3u);
+  EXPECT_EQ(b, 4u);
+  dsu.unite(a, b);
+  EXPECT_EQ(dsu.node_count(), 5u);
+  dsu.rollback(mark);
+  EXPECT_EQ(dsu.node_count(), 3u);
+}
+
+TEST(DsuRollback, AdjustSizeFeedsUnionBySize) {
+  DsuRollback dsu(4);
+  // Inflate node 0 so union-by-size must keep it as the root.
+  dsu.adjust_size(0, 10);
+  dsu.unite(1, 2);
+  dsu.unite(1, 3);
+  dsu.unite(0, 1);
+  EXPECT_EQ(dsu.find(3), 0u);
+  EXPECT_EQ(dsu.size_of(3), 14);
+}
+
+// Randomized inversion: a long mutation run rolled back to a checkpoint
+// must restore the exact component structure, compared against a replay
+// of only the pre-checkpoint prefix.
+TEST(DsuRollback, RandomizedRollbackMatchesReplay) {
+  constexpr std::size_t kNodes = 64;
+  constexpr int kPrefix = 40;
+  constexpr int kSuffix = 200;
+  Rng rng(991);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> prefix_ops;
+  DsuRollback dsu(kNodes);
+  for (int i = 0; i < kPrefix; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.uniform_below(kNodes));
+    const auto b = static_cast<std::uint32_t>(rng.uniform_below(kNodes));
+    prefix_ops.emplace_back(a, b);
+    dsu.unite(a, b);
+  }
+  const std::size_t mark = dsu.checkpoint();
+  for (int i = 0; i < kSuffix; ++i) {
+    dsu.unite(static_cast<std::uint32_t>(rng.uniform_below(kNodes)),
+              static_cast<std::uint32_t>(rng.uniform_below(kNodes)));
+  }
+  dsu.rollback(mark);
+
+  DsuRollback replay(kNodes);
+  for (const auto& [a, b] : prefix_ops) replay.unite(a, b);
+  // Same partition: identical equivalence classes and sizes.
+  for (std::uint32_t v = 0; v < kNodes; ++v) {
+    EXPECT_EQ(dsu.size_of(v), replay.size_of(v)) << "node " << v;
+    for (std::uint32_t u = 0; u < v; ++u) {
+      EXPECT_EQ(dsu.find(u) == dsu.find(v),
+                replay.find(u) == replay.find(v))
+          << "pair " << u << "," << v;
+    }
+  }
+}
+
+TEST(DsuRollback, ResetClearsToSingletons) {
+  DsuRollback dsu(5);
+  dsu.unite(0, 1);
+  dsu.unite(1, 2);
+  dsu.grow();
+  dsu.reset(4);
+  EXPECT_EQ(dsu.node_count(), 4u);
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(dsu.find(v), v);
+    EXPECT_EQ(dsu.size_of(v), 1);
+  }
+  // Reset may also grow the arena.
+  dsu.reset(12);
+  EXPECT_EQ(dsu.node_count(), 12u);
+  EXPECT_EQ(dsu.size_of(11), 1);
+}
+
+TEST(DsuRollback, ManyResetsStayCheap) {
+  DsuRollback dsu(256);
+  for (int round = 0; round < 1000; ++round) {
+    dsu.unite(static_cast<std::uint32_t>(round % 255),
+              static_cast<std::uint32_t>(round % 255 + 1));
+    dsu.reset(256);
+  }
+  for (std::uint32_t v = 0; v < 256; ++v) EXPECT_EQ(dsu.find(v), v);
+}
+
+TEST(DsuRollback, NoLogModeStillUnites) {
+  DsuRollback dsu(8, /*logging=*/false);
+  EXPECT_FALSE(dsu.logging());
+  dsu.unite(0, 1);
+  dsu.unite(1, 2);
+  EXPECT_EQ(dsu.size_of(2), 3);
+  EXPECT_EQ(dsu.checkpoint(), 0u);  // nothing is ever logged
+}
+
+}  // namespace
+}  // namespace seg

@@ -8,8 +8,6 @@
 //
 // Also pins the comfort-band equivalence: with tau_hi = 1 (k_hi = N) the
 // ComfortModel is the paper's model, flip for flip.
-#include <cstring>
-
 #include <gtest/gtest.h>
 
 #include "core/comfort.h"
@@ -17,43 +15,26 @@
 #include "core/kawasaki.h"
 #include "core/model.h"
 #include "core/vacancy.h"
+#include "golden_fixtures.h"
 #include "multitype/multi_model.h"
 
 namespace seg {
 namespace {
 
-std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+// Helpers and frozen hash constants live in tests/golden_fixtures.h (one
+// source of truth, shared with the streaming differential suite).
+using golden::hash_bytes;
+using golden::mix;
+using golden::mix_double;
 
-std::uint64_t hash_bytes(const void* data, std::size_t len) {
-  return fnv1a(data, len, 14695981039346656037ULL);
-}
-
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  return fnv1a(&v, sizeof(v), h);
-}
-
-std::uint64_t mix_double(std::uint64_t h, double d) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &d, sizeof(bits));
-  return mix(h, bits);
-}
-
-// Captured from the pre-lattice-engine implementations (PR 2 seed state).
-constexpr std::uint64_t kGoldenGlauber = 0x9ba2eb1f727a5fe9ull;
-constexpr std::uint64_t kGoldenDiscrete = 0x801332b4ccd3037bull;
-constexpr std::uint64_t kGoldenAsymVonNeumann = 0x1af2be3d65a66499ull;
-constexpr std::uint64_t kGoldenSynchronous = 0x03dfa85039d227afull;
-constexpr std::uint64_t kGoldenComfort = 0x4667963ad15961a7ull;
-constexpr std::uint64_t kGoldenVacancy = 0xc330be046aceb86dull;
-constexpr std::uint64_t kGoldenKawasaki = 0xb347afde603cf098ull;
-constexpr std::uint64_t kGoldenMulti = 0x86665de47b912899ull;
+constexpr std::uint64_t kGoldenGlauber = golden::kGlauber;
+constexpr std::uint64_t kGoldenDiscrete = golden::kDiscrete;
+constexpr std::uint64_t kGoldenAsymVonNeumann = golden::kAsymVonNeumann;
+constexpr std::uint64_t kGoldenSynchronous = golden::kSynchronous;
+constexpr std::uint64_t kGoldenComfort = golden::kComfort;
+constexpr std::uint64_t kGoldenVacancy = golden::kVacancy;
+constexpr std::uint64_t kGoldenKawasaki = golden::kKawasaki;
+constexpr std::uint64_t kGoldenMulti = golden::kMulti;
 
 TEST(GoldenTrajectory, SchellingGlauber) {
   ModelParams p{.n = 48, .w = 3, .tau = 0.45, .p = 0.5};

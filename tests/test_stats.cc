@@ -247,6 +247,91 @@ TEST(RunningStats, MergeStableUnderLargeOffset) {
   EXPECT_GT(a.variance(), 0.0);
 }
 
+// ---- empty-accumulator and single-sample edge cases of the parallel
+// fold paths (Histogram::merge / parallel Welford) ----
+
+TEST(RunningStats, SingleSampleMergesMatchTwoElementStream) {
+  RunningStats a, b, sequential;
+  a.add(3.0);
+  b.add(7.0);
+  sequential.add(3.0);
+  sequential.add(7.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), sequential.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), sequential.variance());
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+}
+
+TEST(RunningStats, EmptyMergeEmptyStaysEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  // The empty accumulator's sentinel extrema must not leak into sums.
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(RunningStats, MergeSingleIntoEmptyPreservesExtrema) {
+  RunningStats a, b;
+  b.add(-2.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), -2.5);
+  EXPECT_DOUBLE_EQ(a.min(), -2.5);
+  EXPECT_DOUBLE_EQ(a.max(), -2.5);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Histogram, MergeEmptyIsIdentityEvenAcrossBinnings) {
+  Histogram a(0.0, 10.0, 10);
+  a.add(1.5);
+  const Histogram empty_same(0.0, 10.0, 10);
+  const Histogram empty_other(-5.0, 5.0, 4);
+  a.merge(empty_same);
+  a.merge(empty_other);  // empty: no-op, not a mismatch
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(a.bin_count(1), 1u);
+}
+
+TEST(Histogram, MergeSingleSampleIntoEmpty) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  b.add(0.6);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(a.bin_count(2), 1u);
+  EXPECT_DOUBLE_EQ(a.fraction(2), 1.0);
+}
+
+TEST(Histogram, MergeMismatchedBinningIsIgnored) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 20.0, 10);
+  a.add(1.0);
+  b.add(15.0);
+  a.merge(b);  // non-empty mismatch: fail closed, keep a intact
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(a.bin_count(1), 1u);
+}
+
+TEST(Histogram, DegenerateParametersFailSafe) {
+  // bins == 0 and hi <= lo collapse to a single unit-range bin instead
+  // of indexing out of bounds in release builds.
+  Histogram zero_bins(0.0, 1.0, 0);
+  EXPECT_EQ(zero_bins.bins(), 1u);
+  zero_bins.add(0.5);
+  EXPECT_EQ(zero_bins.bin_count(0), 1u);
+
+  Histogram inverted(3.0, 3.0, 2);
+  EXPECT_GT(inverted.bin_hi(inverted.bins() - 1), 3.0);
+  inverted.add(3.5);
+  inverted.add(2.0);
+  EXPECT_EQ(inverted.total(), 2u);
+  EXPECT_EQ(inverted.underflow(), 1u);
+}
+
 TEST(Histogram, MergeSumsBinsAndTails) {
   Histogram a(0.0, 10.0, 10);
   Histogram b(0.0, 10.0, 10);
