@@ -15,6 +15,7 @@
 #include "grid/distance_transform.h"
 #include "grid/prefix_sum.h"
 #include "lattice/sharded.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -46,6 +47,34 @@ void BM_Flip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_Flip)->Arg(2)->Arg(4)->Arg(10);
+
+// Telemetry overhead on the hottest call: the same flip/flip-back loop as
+// BM_Flip (w = 10) with the telemetry runtime switch off (arg 0) or on
+// (arg 1). Arg 0 measures what every non-instrumented run pays for the
+// SEG_COUNT("engine.flips") macro compiled into flip() — one relaxed bool
+// load and a predicted branch; the acceptance budget is <= 2% over
+// BM_Flip/10 (scripts/bench.sh records the ratio, and
+// scripts/telemetry_gate.sh additionally compares against a build with
+// SEG_TELEMETRY=OFF, where the macro does not exist at all). Arg 1 is the
+// full per-flip slab bump that live telemetry costs.
+void BM_FlipTelemetry(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  seg::ModelParams params{.n = 128, .w = 10, .tau = 0.45, .p = 0.5};
+  seg::Rng rng(2);
+  seg::SchellingModel model(params, rng);
+  const bool was_enabled = seg::obs::enabled();
+  seg::obs::set_enabled(enabled);
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    model.flip(id);  // flip and flip back: state stays bounded
+    model.flip(id);
+    id = (id + 97) % (128 * 128);
+  }
+  seg::obs::set_enabled(was_enabled);
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["telemetry"] = enabled ? 1 : 0;
+}
+BENCHMARK(BM_FlipTelemetry)->Arg(0)->Arg(1);
 
 void BM_GlauberRun(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

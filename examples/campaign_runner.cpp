@@ -31,14 +31,30 @@
 //   --stop-after K     stop scheduling after K replicas (for smoke tests)
 //   --quiet            skip the console table
 //   --list             list built-in scenarios and registry metrics
+//
+// Telemetry (see README "Telemetry & tracing"; any of these flags turns
+// the runtime telemetry registry on, and the manifest then records a
+// [telemetry] summary section):
+//   --telemetry        enable counters/gauges without other output
+//   --trace FILE       write a Chrome trace / Perfetto JSON of the run
+//   --progress         live one-line status on stderr (in-place on a TTY)
+//   --progress-file F  append machine-readable progress records (JSONL)
+//   --progress-every S progress sampling period in seconds (default 1.0)
+//
+// None of the telemetry paths touch any RNG stream: trajectories and all
+// outputs are bitwise identical with and without these flags.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "campaign/builtin.h"
 #include "campaign/metrics.h"
 #include "campaign/sinks.h"
+#include "obs/progress.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/args.h"
 
 namespace {
@@ -132,6 +148,15 @@ int main(int argc, char** argv) {
   options.resume = args.get_bool("resume", false);
   options.stop_after = stop_after;
 
+  const std::string trace_path = args.get_string("trace", "");
+  const bool progress_line = args.get_bool("progress", false);
+  const std::string progress_file = args.get_string("progress-file", "");
+  const double progress_every = args.get_double("progress-every", 1.0);
+  const bool telemetry = args.get_bool("telemetry", false) ||
+                         !trace_path.empty() || progress_line ||
+                         !progress_file.empty();
+  if (telemetry) seg::obs::set_enabled(true);
+
   const std::size_t total = campaign.points.size() * campaign.spec.replicas;
   std::printf("campaign '%s': %zu points x %zu replicas = %zu runs, "
               "seed %llu, %zu thread(s), %zu shard(s)/replica\n",
@@ -141,9 +166,36 @@ int main(int argc, char** argv) {
               options.threads == 0 ? 0 : options.threads,
               campaign.spec.shards);
 
+  seg::obs::TraceSession trace_session;
+  if (!trace_path.empty()) trace_session.start();
+
+  std::unique_ptr<seg::obs::ProgressReporter> progress;
+  if (progress_line || !progress_file.empty()) {
+    seg::obs::ProgressOptions popt;
+    popt.interval_s = progress_every;
+    popt.jsonl_path = progress_file;
+    popt.stderr_line = progress_line;
+    progress = std::make_unique<seg::obs::ProgressReporter>(total, popt);
+    options.progress = progress->callback();
+  }
+
   const seg::CampaignResult result = seg::run_campaign(
       campaign.spec, campaign.points, campaign.metric_names,
       campaign.replica, seed, options);
+
+  // run_campaign has joined its worker pool, so every instrumented region
+  // is quiescent before the session stops and the reporter finalizes.
+  if (progress) progress->finish();
+  if (trace_session.active()) {
+    trace_session.stop();
+    if (!trace_session.write_json(trace_path)) {
+      std::fprintf(stderr, "warning: failed to write trace %s\n",
+                   trace_path.c_str());
+    } else {
+      std::printf("trace -> %s (%zu events)\n", trace_path.c_str(),
+                  trace_session.event_count());
+    }
+  }
 
   if (!args.get_bool("quiet", false)) {
     seg::ConsoleSink console;
@@ -160,6 +212,10 @@ int main(int argc, char** argv) {
   manifest.set_info("shards", std::to_string(campaign.spec.shards));
   manifest.set_info("csv", out);
   if (!spec_path.empty()) manifest.set_info("spec_file", spec_path);
+  if (!trace_path.empty()) manifest.set_info("trace", trace_path);
+  if (telemetry) {
+    manifest.set_telemetry(seg::obs::Registry::instance().summary());
+  }
   if (!seg::write_all(campaign.spec, result, {&csv, &manifest})) {
     std::fprintf(stderr, "failed to write %s or %s\n", out.c_str(),
                  manifest_path.c_str());

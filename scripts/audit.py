@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Self-consistency auditor: docs vs recorded benchmarks vs source.
+
+The repo makes quantitative claims in three places — README.md prose,
+the annotations scripts/bench.sh bakes into BENCH_core.json, and
+constants in the source tree. These drift independently (a re-run of
+bench.sh, an edited README, a retuned constant), so CI runs this script
+and fails on any contradiction between them.
+
+Checks (see --list):
+  * BENCH_core.json parses and contains the core benchmark families.
+  * seed_baseline_ns annotations in BENCH_core.json equal the seed_ns
+    table in scripts/bench.sh, and each recorded speedup_vs_seed is the
+    recomputed baseline / real_time.
+  * The sharded-scaling curve covers the shard counts the README
+    documents (serial + 1/2/4/8 stripes).
+  * The streaming-recording speedup recorded in BENCH_core.json meets
+    the ">= 10x" target both it and the README state.
+  * The coverage threshold in .github/workflows/ci.yml matches the
+    README's stated gate.
+  * A single-core benchmark run (context.num_cpus == 1) must carry a
+    top-level "caveats" field — wall-clock parallel numbers from such a
+    run are framework-overhead measurements, not scaling results.
+  * The recorded disabled-telemetry overhead respects the <= 2% budget
+    that README.md and src/obs/telemetry.h promise.
+  * The histogram bucket count in src/obs/telemetry.h matches the
+    README's description.
+
+Usage: scripts/audit.py [--list] [--repo PATH]
+Exit status 0 when every claim is consistent, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+
+def read_text(repo, rel):
+    path = os.path.join(repo, rel)
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def check_bench_core(repo, bench):
+    problems = []
+    names = {b.get("name") for b in bench.get("benchmarks", [])}
+    for required in ("BM_Flip/2", "BM_Flip/4", "BM_Flip/10"):
+        if required not in names:
+            problems.append(f"BENCH_core.json is missing {required}")
+    return problems
+
+
+def check_seed_baselines(repo, bench):
+    """bench.sh's seed_ns table must equal the recorded annotations."""
+    problems = []
+    script = read_text(repo, "scripts/bench.sh")
+    table = {}
+    in_table = False
+    for line in script.splitlines():
+        if re.match(r"\s*seed_ns\s*=\s*{", line):
+            in_table = True
+            continue
+        if in_table:
+            if line.strip().startswith("}"):
+                break
+            m = re.match(r'\s*"([^"]+)":\s*([0-9.]+)', line)
+            if m:
+                table[m.group(1)] = float(m.group(2))
+    if not table:
+        return ["could not parse the seed_ns table out of scripts/bench.sh"]
+    for b in bench.get("benchmarks", []):
+        name = b.get("name")
+        recorded = b.get("seed_baseline_ns")
+        if recorded is None:
+            continue
+        expected = table.get(name)
+        if expected is None:
+            problems.append(
+                f"{name} carries seed_baseline_ns={recorded} but "
+                "scripts/bench.sh has no seed_ns entry for it")
+        elif abs(recorded - expected) > 1e-9:
+            problems.append(
+                f"{name}: seed_baseline_ns={recorded} in BENCH_core.json, "
+                f"but scripts/bench.sh says {expected}")
+        real = b.get("real_time")
+        speedup = b.get("speedup_vs_seed")
+        if expected and real and speedup is not None:
+            recomputed = round(expected / real, 2)
+            if abs(recomputed - speedup) > 0.011:
+                problems.append(
+                    f"{name}: recorded speedup_vs_seed={speedup} but "
+                    f"baseline/real_time = {recomputed}")
+    return problems
+
+
+def check_shard_coverage(repo, bench):
+    """The scaling curve must cover the shard counts the README names."""
+    problems = []
+    documented = {0, 1, 2, 4, 8}  # serial + the 1/2/4/8 stripe curve
+    seen = {}
+    for b in bench.get("benchmarks", []):
+        m = re.match(r"BM_GlauberSweep/(\d+)/(\d+)", b.get("name", ""))
+        if m:
+            seen.setdefault(int(m.group(1)), set()).add(int(m.group(2)))
+    if not seen:
+        return ["BENCH_core.json has no BM_GlauberSweep rows"]
+    for n, shard_set in sorted(seen.items()):
+        missing = documented - shard_set
+        if missing:
+            problems.append(
+                f"BM_GlauberSweep at n={n} is missing shard counts "
+                f"{sorted(missing)} (README documents serial + 1/2/4/8)")
+    return problems
+
+
+def check_streaming_speedup(repo, bench):
+    problems = []
+    readme = read_text(repo, "README.md")
+    ctx = bench.get("context", {}).get("streaming_observables", {})
+    target = ctx.get("target", "")
+    m = re.search(r">=\s*(\d+)x", target)
+    if not m:
+        return ["BENCH_core.json streaming_observables has no '>= Nx' target"]
+    floor = float(m.group(1))
+    if not re.search(r"≥\s*10x|>=\s*10x", readme):
+        problems.append(
+            "README.md no longer states the >= 10x streaming recording "
+            "target that BENCH_core.json declares")
+    for n, speedup in ctx.get("speedup_vs_rescan", {}).items():
+        if speedup < floor:
+            problems.append(
+                f"streaming recording speedup at n={n} is {speedup}x, below "
+                f"the declared target {target!r}")
+    return problems
+
+
+def check_coverage_gate(repo, bench):
+    problems = []
+    ci = read_text(repo, os.path.join(".github", "workflows", "ci.yml"))
+    readme = read_text(repo, "README.md")
+    m = re.search(r"--fail-under-line\s+(\d+)", ci)
+    if not m:
+        return ["ci.yml has no --fail-under-line coverage gate"]
+    gate = m.group(1)
+    if not re.search(rf"below\s+{gate}%", readme):
+        problems.append(
+            f"ci.yml enforces --fail-under-line {gate} but README.md does "
+            f"not describe a {gate}% gate")
+    return problems
+
+
+def check_single_core_caveats(repo, bench):
+    if bench.get("context", {}).get("num_cpus") == 1:
+        caveats = bench.get("caveats")
+        if not caveats:
+            return [
+                "BENCH_core.json was recorded on a 1-CPU host but has no "
+                "top-level 'caveats' field flagging the parallel numbers"]
+    return []
+
+
+def check_telemetry_budget(repo, bench):
+    problems = []
+    readme = read_text(repo, "README.md")
+    header = read_text(repo, os.path.join("src", "obs", "telemetry.h"))
+    for where, text in (("README.md", readme),
+                        ("src/obs/telemetry.h", header)):
+        if not re.search(r"(<=|≤)\s*2\s*%", text):
+            problems.append(
+                f"{where} no longer states the <= 2% disabled-telemetry "
+                "budget the benchmark gate enforces")
+    ctx = bench.get("context", {}).get("telemetry_overhead")
+    if ctx is None:
+        # Present only once bench.sh has rerun with BM_FlipTelemetry; its
+        # absence is a stale-benchmarks problem, not an inconsistency.
+        return problems
+    m = re.search(r"(\d+(?:\.\d+)?)\s*%", ctx.get("budget", ""))
+    if not m:
+        problems.append(
+            "BENCH_core.json telemetry_overhead has no parseable budget")
+        return problems
+    budget = float(m.group(1)) / 100.0
+    disabled = ctx.get("disabled", {}).get("overhead_vs_BM_Flip_10")
+    if disabled is None:
+        problems.append(
+            "BENCH_core.json telemetry_overhead records no disabled-mode "
+            "measurement")
+    elif disabled > budget:
+        problems.append(
+            f"recorded disabled-telemetry overhead {disabled:+.2%} exceeds "
+            f"the {budget:.0%} budget stated alongside it")
+    return problems
+
+
+def check_histogram_buckets(repo, bench):
+    header = read_text(repo, os.path.join("src", "obs", "telemetry.h"))
+    readme = read_text(repo, "README.md")
+    m = re.search(r"kHistogramBuckets\s*=\s*(\d+)", header)
+    if not m:
+        return ["src/obs/telemetry.h no longer defines kHistogramBuckets"]
+    buckets = m.group(1)
+    if f"{buckets} log2 buckets" not in readme:
+        return [
+            f"src/obs/telemetry.h uses {buckets} histogram buckets but "
+            f"README.md does not describe '{buckets} log2 buckets'"]
+    return []
+
+
+CHECKS = [
+    ("bench-core-present", check_bench_core),
+    ("seed-baselines", check_seed_baselines),
+    ("shard-coverage", check_shard_coverage),
+    ("streaming-speedup", check_streaming_speedup),
+    ("coverage-gate", check_coverage_gate),
+    ("single-core-caveats", check_single_core_caveats),
+    ("telemetry-budget", check_telemetry_budget),
+    ("histogram-buckets", check_histogram_buckets),
+]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--list", action="store_true",
+                        help="list check names and exit")
+    parser.add_argument("--repo", default=None,
+                        help="repo root (default: parent of this script)")
+    args = parser.parse_args()
+
+    if args.list:
+        for name, _ in CHECKS:
+            print(name)
+        return 0
+
+    repo = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    try:
+        with open(os.path.join(repo, "BENCH_core.json"),
+                  encoding="utf-8") as f:
+            bench = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"audit: FAIL: cannot load BENCH_core.json: {err}")
+        return 1
+
+    failures = 0
+    for name, check in CHECKS:
+        try:
+            problems = check(repo, bench)
+        except OSError as err:
+            problems = [f"cannot read a file this check needs: {err}"]
+        if problems:
+            failures += len(problems)
+            for problem in problems:
+                print(f"audit: FAIL [{name}]: {problem}")
+        else:
+            print(f"audit: ok   [{name}]")
+
+    if failures:
+        print(f"audit: {failures} contradiction(s) between docs, "
+              "BENCH_core.json, and source")
+        return 1
+    print("audit: all claims consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,11 +27,22 @@ fi
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 (cd "$tmp" && "$repo/build/perf_core" \
-    --benchmark_filter='^BM_(Flip|GlauberRun|GlauberSweep|StreamingObservables)' \
+    --benchmark_filter='^BM_(Flip|FlipTelemetry|GlauberRun|GlauberSweep|StreamingObservables)' \
     --benchmark_min_time=0.25 \
     --benchmark_format=json >raw.json)
 
-python3 - "$tmp/raw.json" "$repo/BENCH_core.json" <<'EOF'
+# Dedicated repetitions for the telemetry-overhead annotation: a 2%
+# budget cannot be resolved from single runs on a shared host (run-to-run
+# spread on the same loop is >10%), so the overhead is computed from the
+# min over 5 repetitions of each flip variant.
+(cd "$tmp" && "$repo/build/perf_core" \
+    --benchmark_filter='^(BM_Flip/10$|BM_FlipTelemetry)' \
+    --benchmark_min_time=0.1 \
+    --benchmark_repetitions=5 \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_format=json >flip_reps.json)
+
+python3 - "$tmp/raw.json" "$repo/BENCH_core.json" "$tmp/flip_reps.json" <<'EOF'
 import json
 import sys
 
@@ -96,6 +107,50 @@ context["sharded_scaling"] = {
             "measures framework overhead only (the >=3x target at "
             "n=2048/8 shards needs >=4 physical cores)",
 }
+
+# Telemetry overhead: BM_FlipTelemetry/{0,1} is the BM_Flip/10 loop with
+# the runtime telemetry switch off/on. The disabled ratio is the cost the
+# instrumentation macros impose on every un-instrumented run; the
+# acceptance budget is <= 2% (scripts/telemetry_gate.sh enforces it
+# against a SEG_TELEMETRY=OFF build as well). Computed from the min over
+# 5 repetitions (cleanest sample each variant gets) — single runs on a
+# shared host spread by >10%, far beyond the budget being resolved.
+reps = json.load(open(sys.argv[3]))
+flip_times = {}
+for bench in reps.get("benchmarks", []):
+    if bench.get("run_type") != "iteration" or not bench.get("real_time"):
+        continue
+    name = bench["name"].split("/repeats:")[0]
+    prev = flip_times.get(name)
+    flip_times[name] = min(prev, bench["real_time"]) if prev else \
+        bench["real_time"]
+base = flip_times.get("BM_Flip/10")
+if base:
+    overhead = {}
+    for arg, label in ((0, "disabled"), (1, "enabled")):
+        t = flip_times.get(f"BM_FlipTelemetry/{arg}")
+        if t:
+            overhead[label] = {
+                "real_time_ns": round(t, 2),
+                "overhead_vs_BM_Flip_10": round(t / base - 1.0, 4),
+            }
+    context["telemetry_overhead"] = {
+        "metric": "BM_Flip/10 flip loop with telemetry runtime-disabled / "
+                  "runtime-enabled, vs the uninstrumented-path baseline "
+                  "BM_Flip/10; min over 5 repetitions of each, same run",
+        "baseline_BM_Flip_10_ns": round(base, 2),
+        "budget": "disabled overhead <= 2%",
+        **overhead,
+    }
+
+# Single-core hosts cannot exercise real parallelism: flag every
+# wall-clock-parallel number so downstream readers (and scripts/audit.py)
+# treat them as framework-overhead measurements, not scaling results.
+if context.get("num_cpus") == 1:
+    raw["caveats"] = [
+        "hardware_threads == 1: sharded/threaded speedups measure "
+        "framework overhead only, not parallel scaling",
+    ]
 json.dump(raw, open(sys.argv[2], "w"), indent=1)
 print(f"wrote {sys.argv[2]}")
 EOF

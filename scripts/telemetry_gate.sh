@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Telemetry-overhead gate: proves that compiling the telemetry macros in
+# (SEG_TELEMETRY=ON, the default) costs at most SEG_TELEMETRY_BUDGET_PCT
+# (default 2%) on the hottest path while runtime-disabled.
+#
+# BENCH_core.json records the same ratio from a single build
+# (BM_FlipTelemetry/0 vs BM_Flip/10); this script is the honest version
+# for CI: it builds the benchmark twice — once with the macros compiled
+# out entirely (SEG_TELEMETRY=OFF) and once with them in — runs BM_Flip
+# in both, and compares the min over repetitions on the same host.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+repo=$(pwd)
+budget_pct=${SEG_TELEMETRY_BUDGET_PCT:-2}
+reps=${SEG_TELEMETRY_GATE_REPS:-5}
+
+run_bm_flip() {
+  local build_dir=$1 telemetry=$2
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
+      -DSEG_TELEMETRY="$telemetry" >/dev/null
+  cmake --build "$build_dir" -j --target perf_core >/dev/null
+  "$build_dir/perf_core" \
+      --benchmark_filter='^BM_Flip/10$' \
+      --benchmark_repetitions="$reps" \
+      --benchmark_report_aggregates_only=false \
+      --benchmark_format=json
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "telemetry gate: building with SEG_TELEMETRY=OFF (macro-free baseline)"
+run_bm_flip "$tmp/build-off" OFF >"$tmp/off.json"
+echo "telemetry gate: building with SEG_TELEMETRY=ON (runtime-disabled)"
+run_bm_flip "$tmp/build-on" ON >"$tmp/on.json"
+
+python3 - "$tmp/off.json" "$tmp/on.json" "$budget_pct" <<'EOF'
+import json
+import sys
+
+def min_real_time(path):
+    raw = json.load(open(path))
+    times = [b["real_time"] for b in raw.get("benchmarks", [])
+             if b.get("run_type") == "iteration" and b.get("real_time")]
+    if not times:
+        sys.exit(f"telemetry gate: no BM_Flip/10 iterations in {path}")
+    return min(times)
+
+# Min over repetitions: the cleanest sample each build gets on a shared
+# host. Means are dominated by scheduling noise, which on a loaded CI
+# runner dwarfs the effect being measured.
+off = min_real_time(sys.argv[1])
+on = min_real_time(sys.argv[2])
+budget = float(sys.argv[3]) / 100.0
+overhead = on / off - 1.0
+print(f"telemetry gate: BM_Flip/10 min real_time "
+      f"OFF={off:.2f}ns ON(disabled)={on:.2f}ns overhead={overhead:+.2%} "
+      f"(budget {budget:.0%})")
+if overhead > budget:
+    sys.exit(f"telemetry gate: FAIL — disabled-telemetry overhead "
+             f"{overhead:+.2%} exceeds the {budget:.0%} budget")
+print("telemetry gate: PASS")
+EOF

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/telemetry.h"
+
 namespace seg {
 
 DsuRollback::DsuRollback(std::size_t n, bool logging)
@@ -90,6 +92,7 @@ void DsuRollback::rollback(std::size_t mark) {
 }
 
 void DsuRollback::reset(std::size_t n) {
+  SEG_COUNT("dsu.resets", 1);
   ++epoch_;
   if (epoch_ == 0) {
     // Stamp wrap after ~4e9 resets: hard-clear so stale stamps cannot

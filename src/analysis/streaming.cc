@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "grid/point.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace seg {
 
@@ -99,6 +101,10 @@ void StreamingObservables::hist_remove(std::int64_t size) {
 }
 
 void StreamingObservables::full_rebuild() {
+  // Compaction storms show up on the trace timeline and in the
+  // "streaming.compactions" counter; each rebuild is O(sites).
+  SEG_TRACE_SPAN("dsu_compaction");
+  SEG_COUNT("streaming.compactions", 1);
   ++rebuilds_;
   const std::size_t sites = field_.size();
   dsu_.reset(sites);
@@ -310,6 +316,8 @@ void StreamingObservables::cluster_remove(std::uint32_t id,
         dsu_.adjust_size(root, -piece);
         ++cluster_count_;
         ++splits_;
+        SEG_COUNT("streaming.splits", 1);
+        SEG_HISTOGRAM("streaming.split_piece_sites", piece);
         done[g] = true;
         continue;
       }
@@ -392,6 +400,11 @@ std::vector<double> StreamingObservables::pair_correlation() const {
 }
 
 void StreamingObservables::record_sample() {
+  // Live-observable gauges for the progress reporter: published at the
+  // sampling cadence (per sweep-ish), never from the per-flip path.
+  SEG_GAUGE_SET("streaming.magnetization", spin_sum_);
+  SEG_GAUGE_SET("streaming.clusters", cluster_count_);
+  SEG_GAUGE_SET("streaming.interface", interface_);
   if (ring_.empty()) return;
   const std::size_t w = ring_.size();
   const std::int64_t m = spin_sum_;

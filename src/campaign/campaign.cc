@@ -2,12 +2,15 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
 
 #include "campaign/checkpoint.h"
 #include "campaign/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "rng/splitmix64.h"
 #include "util/thread_pool.h"
 
@@ -98,6 +101,8 @@ struct EngineState {
 // outside the lock and workers never wait on the copy or the disk.
 // checkpoint_mutex is taken first and never inside `mutex`.
 void write_checkpoint(const std::string& path, EngineState& state) {
+  SEG_TRACE_SPAN("checkpoint_write");
+  SEG_COUNT("campaign.checkpoints", 1);
   std::lock_guard<std::mutex> io_lock(state.checkpoint_mutex);
   std::vector<std::uint8_t> done_now;
   {
@@ -164,8 +169,24 @@ CampaignResult run_campaign(const ScenarioSpec& spec,
 
   auto run_one = [&](std::size_t g) {
     const ScenarioPoint& point = points[g / replicas];
-    std::vector<double> row =
-        replica(point, g % replicas, derive_replica_seed(seed, g));
+    std::vector<double> row;
+    {
+      SEG_TRACE_SPAN("replica");
+      // Replicas are whole simulations; the two clock reads bounding one
+      // are noise, but skip even those unless telemetry is live.
+      if (obs::enabled()) {
+        using Clock = std::chrono::steady_clock;
+        const Clock::time_point start = Clock::now();
+        row = replica(point, g % replicas, derive_replica_seed(seed, g));
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            Clock::now() - start)
+                            .count();
+        SEG_HISTOGRAM("campaign.replica_us", us);
+      } else {
+        row = replica(point, g % replicas, derive_replica_seed(seed, g));
+      }
+    }
+    SEG_COUNT("campaign.replicas_done", 1);
     assert(row.size() == metric_count && "replica returned a wrong-width row");
     row.resize(metric_count, 0.0);
     bool checkpoint_due = false;
@@ -197,7 +218,7 @@ CampaignResult run_campaign(const ScenarioSpec& spec,
       run_one(g);
     }
   } else if (!pending.empty()) {
-    ThreadPool pool(options.threads);
+    ThreadPool pool(options.threads, "campaign");
     for (const std::size_t g : pending) {
       pool.submit([&, g] {
         if (state.stop.load(std::memory_order_relaxed)) return;

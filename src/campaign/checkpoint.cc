@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace seg {
 namespace {
 
@@ -30,6 +32,7 @@ std::size_t CheckpointData::done_count() const {
 }
 
 bool save_checkpoint(const std::string& path, const CheckpointData& data) {
+  SEG_TRACE_SPAN("checkpoint_io");
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (!f) return false;

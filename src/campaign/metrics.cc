@@ -8,6 +8,8 @@
 #include "analysis/streaming.h"
 #include "core/parallel_dynamics.h"
 #include "lattice/sharded.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "rng/splitmix64.h"
 
 namespace seg {
@@ -267,6 +269,7 @@ ReplicaFn make_schelling_replica(const ScenarioSpec& spec) {
     if (spec.max_flips > 0) run_options.max_flips = spec.max_flips;
     RunResult run;
     if (sharded) {
+      SEG_TRACE_SPAN("replica_dynamics");
       ParallelOptions parallel_options;
       // Campaigns parallelize at the *replica* level (the campaign pool),
       // so each replica's phase A runs single-threaded: with a replica
@@ -284,6 +287,7 @@ ReplicaFn make_schelling_replica(const ScenarioSpec& spec) {
       run = to_run_result(run_parallel_glauber(
           model, mix_seed(replica_seed, 1), parallel_options));
     } else {
+      SEG_TRACE_SPAN("replica_dynamics");
       if (streaming) {
         model.set_flip_observer(streaming.get());
         run_options.snapshot_every = sample_every;
@@ -307,6 +311,8 @@ ReplicaFn make_schelling_replica(const ScenarioSpec& spec) {
       }
       model.set_flip_observer(nullptr);
     }
+    SEG_HISTOGRAM("campaign.replica_flips", run.flips);
+    SEG_TRACE_SPAN("replica_measure");
     Rng sample = Rng::stream(replica_seed, 2);
     MetricContext ctx(model, run, spec, sample, streaming.get());
     std::vector<double> values;

@@ -61,6 +61,11 @@ void ManifestSink::set_info(const std::string& key, const std::string& value) {
   info_.emplace_back(key, value);
 }
 
+void ManifestSink::set_telemetry(
+    std::vector<std::pair<std::string, std::string>> telemetry) {
+  telemetry_ = std::move(telemetry);
+}
+
 bool ManifestSink::write(const ScenarioSpec& spec,
                          const CampaignResult& result) {
   std::FILE* f = std::fopen(path_.c_str(), "w");
@@ -77,6 +82,12 @@ bool ManifestSink::write(const ScenarioSpec& spec,
                           result.complete ? "true" : "false") > 0;
   for (const auto& [key, value] : info_) {
     ok = ok && std::fprintf(f, "%s = %s\n", key.c_str(), value.c_str()) > 0;
+  }
+  if (!telemetry_.empty()) {
+    ok = ok && std::fprintf(f, "\n[telemetry]\n") > 0;
+    for (const auto& [key, value] : telemetry_) {
+      ok = ok && std::fprintf(f, "%s = %s\n", key.c_str(), value.c_str()) > 0;
+    }
   }
   ok = ok && std::fprintf(f, "\n[spec]\n%s", spec.to_text().c_str()) > 0;
   return (std::fclose(f) == 0) && ok;

@@ -49,9 +49,17 @@ class ManifestSink : public ResultSink {
   // Extra lines recorded under "[run]" in the manifest.
   void set_info(const std::string& key, const std::string& value);
 
+  // Telemetry key/value pairs (e.g. obs::Registry::summary()) recorded
+  // under a "[telemetry]" section between "[run]" and "[spec]". Empty
+  // input leaves the section out entirely, so manifests written with
+  // telemetry off are byte-identical to pre-telemetry ones.
+  void set_telemetry(
+      std::vector<std::pair<std::string, std::string>> telemetry);
+
  private:
   std::string path_;
   std::vector<std::pair<std::string, std::string>> info_;
+  std::vector<std::pair<std::string, std::string>> telemetry_;
 };
 
 class ConsoleSink : public ResultSink {

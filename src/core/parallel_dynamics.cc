@@ -8,6 +8,8 @@
 
 #include "analysis/streaming.h"
 #include "core/kawasaki.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/seg_assert.h"
 #include "util/thread_pool.h"
 
@@ -68,13 +70,14 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
           ? options.sweep_quantum
           : std::max<std::uint64_t>(256, model.agent_count() / (4 * k));
 
-  ThreadPool pool(pool_width(options.threads, k));
+  ThreadPool pool(pool_width(options.threads, k), "shards");
   ParallelRunResult result;
   std::vector<std::uint32_t> reconciled_events;
   std::uint64_t flips_since_sample = 0;
 
   while (!model.terminated() && result.flips < options.max_flips &&
          result.sweeps < options.max_sweeps) {
+    SEG_TRACE_SPAN("sweep");
     const std::uint64_t budget =
         std::min(quantum, options.max_flips - result.flips);
 
@@ -83,6 +86,7 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
     // shared engine is written race-free; the first boundary draw is
     // deferred and blocks the shard until reconciliation.
     parallel_for(pool, static_cast<std::size_t>(k), [&](std::size_t s) {
+      SEG_TRACE_SPAN("phase_a_shard");
       ShardState& st = shards[s];
       const AgentSet& flippable =
           model.flippable_set(static_cast<int>(s));
@@ -103,31 +107,50 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
       }
     });
 
-    // Fold sweep statistics in shard order (deterministic).
+    // Fold sweep statistics in shard order (deterministic). Telemetry
+    // counters are bumped once per sweep with the folded deltas, so the
+    // phase-A proposal loops stay macro-free.
+    std::uint64_t sweep_flips = 0;
+    std::int64_t queue_depth = 0;
     for (ShardState& st : shards) {
+      sweep_flips += st.flips;
       result.flips += st.flips;
       result.deferred += st.deferred;
+      SEG_COUNT("dynamics.deferred", st.deferred);
+      queue_depth += static_cast<std::int64_t>(st.queue.size());
       result.final_time = std::max(result.final_time, st.time);
       st.flips = 0;
       st.deferred = 0;
     }
+    SEG_COUNT("dynamics.flips", sweep_flips);
+    // Queue pressure at the barrier: how much work phase A pushed into
+    // the serial reconciliation pass this sweep.
+    SEG_GAUGE_SET("dynamics.conflict_queue_depth", queue_depth);
+    SEG_TRACE_COUNTER("conflict_queue_depth", queue_depth);
 
     // Phase B: serial reconciliation in ascending shard order. A deferred
     // flip is re-validated against the current global state — an earlier
     // reconciled flip may have changed its window.
-    for (ShardState& st : shards) {
-      for (const std::uint32_t id : st.queue) {
-        SEG_ASSERT(layout.boundary(id),
-                   "non-boundary site " << id
-                                        << " reached the conflict queue");
-        if (model.in_flippable_set(id)) {
-          model.flip(id);
-          ++result.reconciled;
-          ++result.flips;
-          if (streaming != nullptr) reconciled_events.push_back(id);
+    {
+      SEG_TRACE_SPAN("reconcile");
+      std::uint64_t sweep_reconciled = 0;
+      for (ShardState& st : shards) {
+        for (const std::uint32_t id : st.queue) {
+          SEG_ASSERT(layout.boundary(id),
+                     "non-boundary site " << id
+                                          << " reached the conflict queue");
+          if (model.in_flippable_set(id)) {
+            model.flip(id);
+            ++sweep_reconciled;
+            ++result.reconciled;
+            ++result.flips;
+            if (streaming != nullptr) reconciled_events.push_back(id);
+          }
         }
+        st.queue.clear();
       }
-      st.queue.clear();
+      SEG_COUNT("dynamics.reconciled", sweep_reconciled);
+      SEG_COUNT("dynamics.flips", sweep_reconciled);
     }
     if (streaming != nullptr) {
       // Drain the sweep's events serially: phase-A logs in shard order
@@ -136,6 +159,7 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
       // the reconciled boundary flips in application order. Samples are
       // taken on the replayed stream every `streaming_sample_every`
       // flips (or once per sweep when 0), deterministically.
+      SEG_TRACE_SPAN("streaming_replay");
       const auto drain = [&](std::uint32_t id) {
         streaming->apply_flip(id);
         if (options.streaming_sample_every > 0 &&
@@ -188,14 +212,16 @@ ParallelKawasakiResult run_parallel_kawasaki(
           : std::max<std::uint64_t>(512, model.agent_count() /
                                              static_cast<std::uint64_t>(k));
 
-  ThreadPool pool(pool_width(options.threads, k));
+  ThreadPool pool(pool_width(options.threads, k), "shards");
   ParallelKawasakiResult result;
 
   while (result.swaps < options.max_swaps &&
          result.sweeps < options.max_sweeps) {
+    SEG_TRACE_SPAN("kawasaki_sweep");
     const std::uint64_t swap_budget = options.max_swaps - result.swaps;
 
     parallel_for(pool, static_cast<std::size_t>(k), [&](std::size_t si) {
+      SEG_TRACE_SPAN("phase_a_shard");
       const int s = static_cast<int>(si);
       ShardState& st = shards[si];
       st.absorbed = false;
@@ -246,47 +272,65 @@ ParallelKawasakiResult run_parallel_kawasaki(
 
     bool all_absorbed = true;
     std::uint64_t sweep_progress = 0;
+    std::uint64_t sweep_swaps = 0, sweep_proposals = 0, sweep_deferred = 0;
+    std::int64_t queue_depth = 0;
     for (ShardState& st : shards) {
       result.swaps += st.swaps;
       result.proposals += st.proposals;
       result.deferred += st.deferred;
       sweep_progress += st.swaps;
+      sweep_swaps += st.swaps;
+      sweep_proposals += st.proposals;
+      sweep_deferred += st.deferred;
+      queue_depth += static_cast<std::int64_t>(st.queue.size());
       st.swaps = 0;
       st.proposals = 0;
       st.deferred = 0;
       all_absorbed &= st.absorbed;
       if (st.certified) result.terminated = true;
     }
+    SEG_COUNT("dynamics.swaps", sweep_swaps);
+    SEG_COUNT("dynamics.proposals", sweep_proposals);
+    SEG_COUNT("dynamics.deferred", sweep_deferred);
+    SEG_GAUGE_SET("dynamics.conflict_queue_depth", queue_depth);
+    SEG_TRACE_COUNTER("conflict_queue_depth", queue_depth);
 
     // Phase B: serial reconciliation of boundary pairs in shard order. A
     // rejected deferred pair counts toward its shard's consecutive
     // rejections — otherwise a shard whose remaining pairs all touch a
     // boundary could defer-and-fail every sweep without ever tripping
     // the stale or give-up exits below.
-    for (ShardState& st : shards) {
-      std::unordered_set<std::uint64_t> seen;  // same pair drawn twice
-      for (const auto& [a, b] : st.queue) {
-        SEG_ASSERT(layout.boundary(a) || layout.boundary(b),
-                   "interior pair (" << a << ", " << b
-                                     << ") reached the conflict queue");
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(a) << 32) | b;
-        if (!seen.insert(key).second) continue;  // duplicate this sweep
-        // Re-validate the full serial proposal rule against the current
-        // global state: an earlier reconciled (or same-shard interior)
-        // swap may have flipped an endpoint's type or made it happy —
-        // and the serial dynamics never relocates a happy agent.
-        if (model.spin(a) != model.spin(b) && model.in_unhappy_set(a) &&
-            model.in_unhappy_set(b) && swap_improves(model, a, b)) {
-          ++result.swaps;
-          ++result.reconciled;
-          ++sweep_progress;
-          st.consecutive_rejects = 0;
-        } else {
-          ++st.consecutive_rejects;
+    const std::uint64_t reconciled_before = result.reconciled;
+    {
+      SEG_TRACE_SPAN("reconcile");
+      for (ShardState& st : shards) {
+        std::unordered_set<std::uint64_t> seen;  // same pair drawn twice
+        for (const auto& [a, b] : st.queue) {
+          SEG_ASSERT(layout.boundary(a) || layout.boundary(b),
+                     "interior pair (" << a << ", " << b
+                                       << ") reached the conflict queue");
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(a) << 32) | b;
+          if (!seen.insert(key).second) continue;  // duplicate this sweep
+          // Re-validate the full serial proposal rule against the current
+          // global state: an earlier reconciled (or same-shard interior)
+          // swap may have flipped an endpoint's type or made it happy —
+          // and the serial dynamics never relocates a happy agent.
+          if (model.spin(a) != model.spin(b) && model.in_unhappy_set(a) &&
+              model.in_unhappy_set(b) && swap_improves(model, a, b)) {
+            ++result.swaps;
+            ++result.reconciled;
+            ++sweep_progress;
+            st.consecutive_rejects = 0;
+          } else {
+            ++st.consecutive_rejects;
+          }
         }
+        st.queue.clear();
       }
-      st.queue.clear();
+      SEG_COUNT("dynamics.swaps", result.reconciled - reconciled_before);
+      SEG_COUNT("dynamics.reconciled",
+                result.reconciled - reconciled_before);
     }
     ++result.sweeps;
 

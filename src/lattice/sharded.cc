@@ -2,7 +2,27 @@
 
 #include <cassert>
 
+#include "obs/telemetry.h"
+
 namespace seg {
+
+namespace {
+
+// Layout telemetry: shard count and boundary-site volume, the two
+// numbers that predict conflict-queue pressure (every boundary draw
+// defers to phase B). Boundary sites = rows-boundary union cols-boundary.
+void publish_layout_gauges(const std::vector<std::uint8_t>& row_boundary,
+                           const std::vector<std::uint8_t>& col_boundary,
+                           int n, int shards) {
+  std::int64_t rows = 0, cols = 0;
+  for (const std::uint8_t b : row_boundary) rows += b;
+  for (const std::uint8_t b : col_boundary) cols += b;
+  const std::int64_t sites = rows * n + cols * n - rows * cols;
+  SEG_GAUGE_SET("sharded.shards", shards);
+  SEG_GAUGE_SET("sharded.boundary_sites", sites);
+}
+
+}  // namespace
 
 std::vector<int> ShardLayout::band_starts(int n, int bands) {
   // Band b covers [b*n/bands, (b+1)*n/bands): heights differ by at most 1.
@@ -45,6 +65,8 @@ ShardLayout ShardLayout::stripes(int n, int w, int shards) {
   classify_axis(n, w, shards, &layout.row_shard_, &layout.row_boundary_);
   layout.col_shard_.assign(static_cast<std::size_t>(n), 0);
   layout.col_boundary_.assign(static_cast<std::size_t>(n), 0);
+  publish_layout_gauges(layout.row_boundary_, layout.col_boundary_, n,
+                        shards);
   return layout;
 }
 
@@ -67,6 +89,8 @@ ShardLayout ShardLayout::checkerboard(int n, int w, int rows, int cols) {
   for (auto& band : layout.row_shard_) {
     band = static_cast<std::uint32_t>(band) * static_cast<std::uint32_t>(cols);
   }
+  publish_layout_gauges(layout.row_boundary_, layout.col_boundary_, n,
+                        rows * cols);
   return layout;
 }
 

@@ -1,0 +1,354 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace seg::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Slab geometry. 4096 cells of 8 bytes = 32 KiB per writing thread;
+// counters take one cell, histograms take kHistogramBuckets. Cell 0 is a
+// spill sink for registrations that arrive after the slot space is
+// exhausted — their writes stay memory-safe but are not reported.
+constexpr std::uint32_t kSlabCells = 4096;
+constexpr std::uint32_t kSpillSlot = 0;
+constexpr std::uint32_t kMaxMetrics = 1024;
+
+// Plain per-thread cells with cache-line guards fore and aft: the owning
+// thread is the only writer, the aggregator only loads, and the guards
+// keep a neighboring allocation's hot data off this slab's lines. Relaxed
+// atomics make the cross-thread reads well-defined without ever issuing
+// an atomic RMW — a counter add is load + store on the owner's cell.
+struct Slab {
+  alignas(64) char guard_front[64] = {};
+  std::atomic<std::uint64_t> cells[kSlabCells] = {};
+  alignas(64) char guard_back[64] = {};
+
+  void bump(std::uint32_t slot, std::uint64_t delta) {
+    std::atomic<std::uint64_t>& cell = cells[slot];
+    cell.store(cell.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  }
+};
+
+struct Metric {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint32_t slot = kSpillSlot;
+  std::atomic<std::int64_t> gauge{0};
+};
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::uint32_t> by_name;
+  // Fixed-capacity metric table: entries are never moved once published,
+  // so gauge_set/gauge_max may index without the lock.
+  std::unique_ptr<Metric[]> metrics{new Metric[kMaxMetrics]};
+  std::atomic<std::uint32_t> metric_count{0};
+  std::uint32_t next_slot = 1;  // cell 0 is the spill sink
+  bool warned_spill = false;
+
+  std::vector<std::unique_ptr<Slab>> slabs;  // all slabs ever created
+  std::vector<Slab*> free_slabs;             // returned by exited threads
+
+  Slab* acquire_slab() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!free_slabs.empty()) {
+      Slab* s = free_slabs.back();
+      free_slabs.pop_back();
+      return s;
+    }
+    slabs.push_back(std::make_unique<Slab>());
+    return slabs.back().get();
+  }
+
+  void release_slab(Slab* slab) {
+    std::lock_guard<std::mutex> lock(mutex);
+    free_slabs.push_back(slab);  // cells keep their totals
+  }
+
+  MetricId register_metric(const std::string& name, MetricKind kind,
+                           std::uint32_t cells_needed) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = by_name.find(name);
+    if (it != by_name.end()) {
+      const Metric& m = metrics[it->second];
+      assert(m.kind == kind && "metric re-registered with another kind");
+      (void)kind;
+      return MetricId{it->second, m.slot};
+    }
+    const std::uint32_t index = metric_count.load(std::memory_order_relaxed);
+    if (index >= kMaxMetrics) {
+      // Structural overflow: alias everything to the spill sink.
+      return MetricId{kMaxMetrics - 1, kSpillSlot};
+    }
+    std::uint32_t slot = kSpillSlot;
+    if (cells_needed > 0) {
+      if (next_slot + cells_needed <= kSlabCells) {
+        slot = next_slot;
+        next_slot += cells_needed;
+      } else if (!warned_spill) {
+        warned_spill = true;
+        std::fprintf(stderr,
+                     "seg::obs: telemetry slot space exhausted; metric "
+                     "'%s' (and later ones) will not be reported\n",
+                     name.c_str());
+      }
+    }
+    Metric& m = metrics[index];
+    m.name = name;
+    m.kind = kind;
+    m.slot = slot;
+    by_name.emplace(name, index);
+    metric_count.store(index + 1, std::memory_order_release);
+    return MetricId{index, slot};
+  }
+
+  std::uint64_t sum_slot(std::uint32_t slot) const {
+    // Caller holds `mutex` (slab list is mutated under it).
+    std::uint64_t total = 0;
+    for (const auto& slab : slabs) {
+      total += slab->cells[slot].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+};
+
+namespace {
+
+// The registry Impl is leaked (never destroyed), so thread exit hooks
+// may reference it unconditionally regardless of destruction order.
+Registry::Impl* g_impl = nullptr;
+
+// Per-thread cached slab. The handle returns the slab to the registry's
+// free list at thread exit so a later thread can adopt it — totals are
+// preserved and slab memory is bounded by the peak thread count.
+struct SlabHandle {
+  Slab* slab = nullptr;
+  ~SlabHandle() {
+    if (slab != nullptr && g_impl != nullptr) g_impl->release_slab(slab);
+  }
+};
+
+thread_local SlabHandle t_slab;
+
+}  // namespace
+
+Registry& Registry::instance() {
+  // Leaked on purpose: thread_local slab handles and static-destruction-
+  // order races can outlive any non-leaked singleton.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Registry::Registry() : impl_(new Impl()) { g_impl = impl_; }
+
+MetricId Registry::counter(const std::string& name) {
+  return impl_->register_metric(name, MetricKind::kCounter, 1);
+}
+
+MetricId Registry::gauge(const std::string& name) {
+  return impl_->register_metric(name, MetricKind::kGauge, 0);
+}
+
+MetricId Registry::histogram(const std::string& name) {
+  return impl_->register_metric(name, MetricKind::kHistogram,
+                                kHistogramBuckets);
+}
+
+void Registry::add(MetricId id, std::uint64_t delta) {
+  if (id.slot == kSpillSlot) return;
+  if (t_slab.slab == nullptr) t_slab.slab = impl_->acquire_slab();
+  t_slab.slab->bump(id.slot, delta);
+}
+
+void Registry::observe(MetricId id, std::uint64_t value) {
+  if (id.slot == kSpillSlot) return;
+  // Bucket 0 holds the value 0; bucket b >= 1 holds bit_width(v) == b,
+  // i.e. [2^(b-1), 2^b - 1]. bit_width(uint64) <= 64 > 63 is impossible
+  // here because kHistogramBuckets == 64 covers widths 0..63; width 64
+  // (v >= 2^63) clamps into the last bucket.
+  const int bucket = std::min(static_cast<int>(std::bit_width(value)),
+                              kHistogramBuckets - 1);
+  if (t_slab.slab == nullptr) t_slab.slab = impl_->acquire_slab();
+  t_slab.slab->bump(id.slot + static_cast<std::uint32_t>(bucket), 1);
+}
+
+void Registry::gauge_set(MetricId id, std::int64_t value) {
+  impl_->metrics[id.index].gauge.store(value, std::memory_order_relaxed);
+}
+
+void Registry::gauge_max(MetricId id, std::int64_t value) {
+  std::atomic<std::int64_t>& g = impl_->metrics[id.index].gauge;
+  std::int64_t cur = g.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !g.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->by_name.find(name);
+  if (it == impl_->by_name.end()) return 0;
+  const Metric& m = impl_->metrics[it->second];
+  if (m.kind != MetricKind::kCounter || m.slot == kSpillSlot) return 0;
+  return impl_->sum_slot(m.slot);
+}
+
+std::int64_t Registry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->by_name.find(name);
+  if (it == impl_->by_name.end()) return 0;
+  return impl_->metrics[it->second].gauge.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Registry::histogram_buckets(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->by_name.find(name);
+  if (it == impl_->by_name.end()) return {};
+  const Metric& m = impl_->metrics[it->second];
+  if (m.kind != MetricKind::kHistogram || m.slot == kSpillSlot) return {};
+  std::vector<std::uint64_t> buckets(kHistogramBuckets, 0);
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    buckets[static_cast<std::size_t>(b)] =
+        impl_->sum_slot(m.slot + static_cast<std::uint32_t>(b));
+  }
+  return buckets;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<MetricSample> out;
+  out.reserve(impl_->by_name.size());
+  for (const auto& [name, index] : impl_->by_name) {  // map: sorted
+    const Metric& m = impl_->metrics[index];
+    MetricSample s;
+    s.name = name;
+    s.kind = m.kind;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        s.value = m.slot == kSpillSlot ? 0 : impl_->sum_slot(m.slot);
+        break;
+      case MetricKind::kGauge:
+        s.gauge = m.gauge.load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        if (m.slot == kSpillSlot) break;
+        s.buckets.resize(kHistogramBuckets);
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+          s.buckets[static_cast<std::size_t>(b)] =
+              impl_->sum_slot(m.slot + static_cast<std::uint32_t>(b));
+          s.histogram_count += s.buckets[static_cast<std::size_t>(b)];
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Registry::counters_with_prefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (auto it = impl_->by_name.lower_bound(prefix);
+       it != impl_->by_name.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    const Metric& m = impl_->metrics[it->second];
+    if (m.kind != MetricKind::kCounter || m.slot == kSpillSlot) continue;
+    out.emplace_back(it->first, impl_->sum_slot(m.slot));
+  }
+  return out;
+}
+
+namespace {
+
+// Representative value of histogram bucket b (midpoint of its range).
+std::uint64_t bucket_mid(int b) {
+  if (b == 0) return 0;
+  const std::uint64_t lo = 1ULL << (b - 1);
+  const std::uint64_t hi = b >= 64 ? ~0ULL : (1ULL << b) - 1;
+  return lo + (hi - lo) / 2;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> Registry::summary() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const MetricSample& s : snapshot()) {
+    char buf[128];
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(s.value));
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(s.gauge));
+        break;
+      case MetricKind::kHistogram: {
+        // Bucket-midpoint p50 and the top nonempty bucket's midpoint.
+        std::uint64_t seen = 0;
+        std::uint64_t p50 = 0, top = 0;
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+          const std::uint64_t c = s.buckets[static_cast<std::size_t>(b)];
+          if (c == 0) continue;
+          top = bucket_mid(b);
+          if (seen * 2 < s.histogram_count &&
+              (seen + c) * 2 >= s.histogram_count) {
+            p50 = bucket_mid(b);
+          }
+          seen += c;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "count=%llu p50~%llu max~%llu",
+                      static_cast<unsigned long long>(s.histogram_count),
+                      static_cast<unsigned long long>(p50),
+                      static_cast<unsigned long long>(top));
+        break;
+      }
+    }
+    out.emplace_back(s.name, buf);
+  }
+  return out;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& slab : impl_->slabs) {
+    for (std::uint32_t c = 0; c < kSlabCells; ++c) {
+      slab->cells[c].store(0, std::memory_order_relaxed);
+    }
+  }
+  const std::uint32_t count =
+      impl_->metric_count.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    impl_->metrics[i].gauge.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t Registry::metric_count() const {
+  return impl_->metric_count.load(std::memory_order_acquire);
+}
+
+}  // namespace seg::obs

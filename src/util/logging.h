@@ -1,5 +1,11 @@
 // Minimal leveled logger. The simulator itself never logs from hot paths;
 // this exists for the experiment harnesses and examples.
+//
+// The SEG_LOG_* macros are lazy: when the level is below the global
+// threshold the whole statement reduces to one relaxed load and a
+// branch — the LogMessage (and its ostringstream) is never constructed
+// and the streamed operands are never evaluated, so an expensive
+// argument like `summarize(model)` costs nothing when filtered out.
 #pragma once
 
 #include <sstream>
@@ -13,7 +19,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-// Writes a single formatted line to stderr, thread-safe.
+// Whether a message at `level` would be emitted right now.
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+// Writes a single formatted line to stderr, thread-safe. Re-checks the
+// threshold, so direct callers get the same filtering as the macros.
 void log_line(LogLevel level, const std::string& message);
 
 namespace internal {
@@ -36,10 +48,25 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+// Ternary-arm helper: `&` binds looser than `<<` and tighter than `?:`,
+// so the macro below can swallow an entire `msg << a << b` chain into a
+// void expression matching the `(void)0` arm.
+struct Voidify {
+  void operator&(const LogMessage&) {}
+};
+
 }  // namespace internal
 }  // namespace seg
 
-#define SEG_LOG_DEBUG ::seg::internal::LogMessage(::seg::LogLevel::kDebug)
-#define SEG_LOG_INFO ::seg::internal::LogMessage(::seg::LogLevel::kInfo)
-#define SEG_LOG_WARN ::seg::internal::LogMessage(::seg::LogLevel::kWarn)
-#define SEG_LOG_ERROR ::seg::internal::LogMessage(::seg::LogLevel::kError)
+// Evaluates (and formats) the streamed operands only when the level
+// clears the threshold at the moment the statement runs.
+#define SEG_LOG_AT(level)                 \
+  !::seg::log_enabled(level)              \
+      ? (void)0                           \
+      : ::seg::internal::Voidify() &      \
+            ::seg::internal::LogMessage(level)
+
+#define SEG_LOG_DEBUG SEG_LOG_AT(::seg::LogLevel::kDebug)
+#define SEG_LOG_INFO SEG_LOG_AT(::seg::LogLevel::kInfo)
+#define SEG_LOG_WARN SEG_LOG_AT(::seg::LogLevel::kWarn)
+#define SEG_LOG_ERROR SEG_LOG_AT(::seg::LogLevel::kError)

@@ -1,16 +1,32 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace seg {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads,
+                       const std::string& telemetry_label) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+#if !defined(SEG_TELEMETRY_DISABLED)
+  if (!telemetry_label.empty()) {
+    obs::Registry& registry = obs::Registry::instance();
+    const std::string prefix = "pool." + telemetry_label;
+    tasks_id_ = registry.counter(prefix + ".tasks");
+    busy_ids_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      busy_ids_.push_back(registry.counter(
+          prefix + ".worker." + std::to_string(i) + ".busy_us"));
+    }
+  }
+#else
+  (void)telemetry_label;
+#endif
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -38,7 +54,30 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+// Runs one task, charging its wall time to the worker's busy counter
+// when the pool is labeled and telemetry is runtime-enabled. Tasks here
+// are coarse (whole replicas, shard sweep quanta), so the two clock
+// reads are noise next to the work they bracket.
+void ThreadPool::run_task(std::size_t worker, std::function<void()>& task) {
+#if !defined(SEG_TELEMETRY_DISABLED)
+  if (!busy_ids_.empty() && obs::enabled()) {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    task();
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - start)
+                        .count();
+    obs::Registry& registry = obs::Registry::instance();
+    registry.add(busy_ids_[worker], static_cast<std::uint64_t>(us));
+    registry.add(tasks_id_, 1);
+    return;
+  }
+#endif
+  (void)worker;
+  task();
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
   for (;;) {
     std::function<void()> task;
     {
@@ -49,7 +88,7 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
       ++in_flight_;
     }
-    task();
+    run_task(worker, task);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

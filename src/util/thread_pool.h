@@ -8,15 +8,27 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/telemetry.h"
 
 namespace seg {
 
 class ThreadPool {
  public:
   // threads == 0 selects std::thread::hardware_concurrency() (min 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  //
+  // A non-empty `telemetry_label` registers per-worker busy-time
+  // counters "pool.<label>.worker.<i>.busy_us" and a task counter
+  // "pool.<label>.tasks" in the telemetry registry; workers then time
+  // each task while telemetry is runtime-enabled (two clock reads per
+  // task — the pools run coarse tasks, replicas and shard sweeps). The
+  // progress reporter turns the busy counters into per-worker
+  // utilization. An empty label keeps the pool entirely uninstrumented.
+  explicit ThreadPool(std::size_t threads = 0,
+                      const std::string& telemetry_label = "");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -31,9 +43,14 @@ class ThreadPool {
   std::size_t thread_count() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker);
+  void run_task(std::size_t worker, std::function<void()>& task);
 
   std::vector<std::thread> workers_;
+  // Parallel to workers_ when a telemetry label was given; empty
+  // otherwise (the task loop then skips the timing entirely).
+  std::vector<obs::MetricId> busy_ids_;
+  obs::MetricId tasks_id_{};
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable task_cv_;

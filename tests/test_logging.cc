@@ -1,0 +1,111 @@
+// Tests for the leveled logger: threshold gating must skip operand
+// formatting entirely, and concurrent emission must keep lines intact.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace seg {
+namespace {
+
+// Streaming one of these records the evaluation, so a test can prove a
+// filtered-out statement never formatted its operands.
+struct FormatProbe {
+  mutable int* evaluations;
+};
+
+std::ostream& operator<<(std::ostream& os, const FormatProbe& probe) {
+  ++*probe.evaluations;
+  return os << "probe";
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_log_level(LogLevel::kInfo); }
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LogEnabledFollowsThreshold) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kDebug);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+}
+
+TEST_F(LoggingTest, BelowThresholdSkipsFormatting) {
+  set_log_level(LogLevel::kWarn);
+  int evaluations = 0;
+  const FormatProbe probe{&evaluations};
+  ::testing::internal::CaptureStderr();
+  SEG_LOG_DEBUG << "never " << probe;
+  SEG_LOG_INFO << "never " << probe;
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  EXPECT_EQ(evaluations, 0) << "filtered log statements formatted operands";
+}
+
+TEST_F(LoggingTest, AtOrAboveThresholdFormatsAndEmits) {
+  set_log_level(LogLevel::kWarn);
+  int evaluations = 0;
+  const FormatProbe probe{&evaluations};
+  ::testing::internal::CaptureStderr();
+  SEG_LOG_WARN << "w " << probe;
+  SEG_LOG_ERROR << "e " << 42;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(out, "[WARN] w probe\n[ERROR] e 42\n");
+}
+
+TEST_F(LoggingTest, ThresholdIsCheckedAtStatementTime) {
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  SEG_LOG_INFO << "dropped";
+  set_log_level(LogLevel::kDebug);
+  SEG_LOG_INFO << "kept";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "[INFO] kept\n");
+}
+
+TEST_F(LoggingTest, DirectLogLineStillFilters) {
+  set_log_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  log_line(LogLevel::kInfo, "dropped");
+  log_line(LogLevel::kError, "kept");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "[ERROR] kept\n");
+}
+
+TEST_F(LoggingTest, ConcurrentLinesStayIntact) {
+  set_log_level(LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SEG_LOG_INFO << "thread " << t << " msg " << i;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // Every line must be one complete, well-formed record — interleaving
+  // within a line means the mutex failed to serialize fprintf calls.
+  std::istringstream lines(out);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_TRUE(line.rfind("[INFO] thread ", 0) == 0) << "mangled: " << line;
+    EXPECT_NE(line.find(" msg "), std::string::npos) << "mangled: " << line;
+  }
+  EXPECT_EQ(count, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace seg
