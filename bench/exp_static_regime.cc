@@ -41,9 +41,10 @@ int main(int argc, char** argv) {
       const auto spins0 = model.spins();
       seg::Rng dyn = seg::Rng::stream(seed + t, 1);
       flips.add(static_cast<double>(seg::run_glauber(model, dyn).flips));
+      const auto spins1 = model.spins();
       std::size_t diff = 0;
       for (std::size_t i = 0; i < spins0.size(); ++i) {
-        diff += spins0[i] != model.spins()[i];
+        diff += spins0[i] != spins1[i];
       }
       changed.add(static_cast<double>(diff) /
                   static_cast<double>(spins0.size()));

@@ -33,9 +33,18 @@ void BM_ModelInit(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelInit)->Args({256, 4})->Args({256, 10})->Args({512, 10});
 
+// Storage backends are benchmarked side by side: arg value 0 forces the
+// byte backend (one int8 per spin, int32 counts), 1 forces the bit-packed
+// backend (one bit per spin, int16 counts + the AVX-512 flip kernel where
+// the CPU has it). scripts/bench.sh records the packed/byte ratio.
+seg::EngineStorage storage_arg(std::int64_t v) {
+  return v != 0 ? seg::EngineStorage::kPacked : seg::EngineStorage::kByte;
+}
+
 void BM_Flip(benchmark::State& state) {
   const int w = static_cast<int>(state.range(0));
   seg::ModelParams params{.n = 128, .w = w, .tau = 0.45, .p = 0.5};
+  params.storage = storage_arg(state.range(1));
   seg::Rng rng(2);
   seg::SchellingModel model(params, rng);
   std::uint32_t id = 0;
@@ -46,7 +55,13 @@ void BM_Flip(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2);
 }
-BENCHMARK(BM_Flip)->Arg(2)->Arg(4)->Arg(10);
+BENCHMARK(BM_Flip)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({10, 0})
+    ->Args({10, 1});
 
 // Telemetry overhead on the hottest call: the same flip/flip-back loop as
 // BM_Flip (w = 10) with the telemetry runtime switch off (arg 0) or on
@@ -80,6 +95,7 @@ void BM_GlauberRun(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int w = static_cast<int>(state.range(1));
   seg::ModelParams params{.n = n, .w = w, .tau = 0.45, .p = 0.5};
+  params.storage = storage_arg(state.range(2));
   std::uint64_t flips = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -94,10 +110,14 @@ void BM_GlauberRun(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(flips));
 }
 BENCHMARK(BM_GlauberRun)
-    ->Args({64, 2})
-    ->Args({128, 2})
-    ->Args({128, 4})
-    ->Args({128, 10});
+    ->Args({64, 2, 0})
+    ->Args({64, 2, 1})
+    ->Args({128, 2, 0})
+    ->Args({128, 2, 1})
+    ->Args({128, 4, 0})
+    ->Args({128, 4, 1})
+    ->Args({128, 10, 0})
+    ->Args({128, 10, 1});
 
 // Giant-lattice sweep throughput: a fixed flip budget on a fresh
 // tau = 0.45 lattice, serial engine (shards = 0) versus the sharded
@@ -112,6 +132,7 @@ void BM_GlauberSweep(benchmark::State& state) {
   const int shards = static_cast<int>(state.range(1));
   const int w = 4;
   seg::ModelParams params{.n = n, .w = w, .tau = 0.45, .p = 0.5};
+  params.storage = storage_arg(state.range(2));
   seg::Rng spin_rng(3);
   // One shared initial configuration; each iteration restarts from it so
   // the dynamics never runs into the absorbing tail where the flippable
@@ -142,21 +163,29 @@ void BM_GlauberSweep(benchmark::State& state) {
   state.counters["shards"] = shards;
 }
 BENCHMARK(BM_GlauberSweep)
-    ->Args({1024, 0})
-    ->Args({1024, 1})
-    ->Args({1024, 2})
-    ->Args({1024, 4})
-    ->Args({1024, 8})
-    ->Args({2048, 0})
-    ->Args({2048, 1})
-    ->Args({2048, 2})
-    ->Args({2048, 4})
-    ->Args({2048, 8})
-    ->Args({4096, 0})
-    ->Args({4096, 1})
-    ->Args({4096, 2})
-    ->Args({4096, 4})
-    ->Args({4096, 8})
+    // Full shard sweep on the packed backend (the resolved default), plus
+    // byte-backend reference rows at shards 0 and 4 for the storage ratio.
+    ->Args({1024, 0, 0})
+    ->Args({1024, 0, 1})
+    ->Args({1024, 1, 1})
+    ->Args({1024, 2, 1})
+    ->Args({1024, 4, 0})
+    ->Args({1024, 4, 1})
+    ->Args({1024, 8, 1})
+    ->Args({2048, 0, 0})
+    ->Args({2048, 0, 1})
+    ->Args({2048, 1, 1})
+    ->Args({2048, 2, 1})
+    ->Args({2048, 4, 0})
+    ->Args({2048, 4, 1})
+    ->Args({2048, 8, 1})
+    ->Args({4096, 0, 0})
+    ->Args({4096, 0, 1})
+    ->Args({4096, 1, 1})
+    ->Args({4096, 2, 1})
+    ->Args({4096, 4, 0})
+    ->Args({4096, 4, 1})
+    ->Args({4096, 8, 1})
     // Phase A runs on pool workers whose CPU time the main thread never
     // sees; wall-clock is the only honest basis for the flips/sec rate.
     ->UseRealTime()

@@ -23,6 +23,8 @@ Checks (see --list):
     run are framework-overhead measurements, not scaling results.
   * The recorded disabled-telemetry overhead respects the <= 2% budget
     that README.md and src/obs/telemetry.h promise.
+  * README.md's bit-packed storage speedup claims equal the
+    packed-vs-prior-byte speedups recorded in BENCH_core.json.
   * The histogram bucket count in src/obs/telemetry.h matches the
     README's description.
 
@@ -46,10 +48,25 @@ def read_text(repo, rel):
 def check_bench_core(repo, bench):
     problems = []
     names = {b.get("name") for b in bench.get("benchmarks", [])}
-    for required in ("BM_Flip/2", "BM_Flip/4", "BM_Flip/10"):
+    # Trailing argument is the storage backend: 0 = byte, 1 = bit-packed.
+    # Both backends must be recorded for every flip workload.
+    for required in ("BM_Flip/2/0", "BM_Flip/2/1", "BM_Flip/4/0",
+                     "BM_Flip/4/1", "BM_Flip/10/0", "BM_Flip/10/1"):
         if required not in names:
             problems.append(f"BENCH_core.json is missing {required}")
     return problems
+
+
+def seed_table_key(name):
+    """Benchmark row name -> seed_ns table key.
+
+    The seed baselines predate the storage-backend split, so the table is
+    keyed without the trailing storage argument that BM_Flip and
+    BM_GlauberRun rows now carry.
+    """
+    if name.startswith(("BM_Flip/", "BM_GlauberRun/")):
+        return name.rsplit("/", 1)[0]
+    return name
 
 
 def check_seed_baselines(repo, bench):
@@ -75,7 +92,7 @@ def check_seed_baselines(repo, bench):
         recorded = b.get("seed_baseline_ns")
         if recorded is None:
             continue
-        expected = table.get(name)
+        expected = table.get(seed_table_key(name))
         if expected is None:
             problems.append(
                 f"{name} carries seed_baseline_ns={recorded} but "
@@ -194,6 +211,56 @@ def check_telemetry_budget(repo, bench):
     return problems
 
 
+def check_packed_speedup(repo, bench):
+    """README packed-storage speedup claims == what bench.sh recorded.
+
+    BENCH_core.json's packed_storage context carries, per workload, the
+    byte-engine time the previous PR recorded and the packed backend's
+    measured speedup over it. The README quotes those speedups; any
+    drift (a re-run, an optimistic edit) is a contradiction.
+    """
+    problems = []
+    readme = read_text(repo, "README.md")
+    ctx = bench.get("context", {}).get("packed_storage")
+    if ctx is None:
+        return ["BENCH_core.json has no packed_storage context "
+                "(re-run scripts/bench.sh)"]
+    vs_prior = ctx.get("packed_vs_prior_recorded_byte", {})
+    if not vs_prior:
+        problems.append(
+            "packed_storage context records no packed_vs_prior_recorded_byte "
+            "workloads")
+    for workload, row in sorted(vs_prior.items()):
+        prior = row.get("prior_byte_ns")
+        packed = row.get("packed_ns")
+        speedup = row.get("speedup")
+        if prior and packed and speedup is not None:
+            recomputed = round(prior / packed, 2)
+            if abs(recomputed - speedup) > 0.011:
+                problems.append(
+                    f"{workload}: recorded packed speedup {speedup}x but "
+                    f"prior_byte_ns/packed_ns = {recomputed}x")
+        # The README must quote this exact speedup on the line naming the
+        # workload.
+        line = next((ln for ln in readme.splitlines() if workload in ln),
+                    None)
+        if line is None:
+            problems.append(
+                f"README.md never mentions {workload}, whose packed "
+                "speedup BENCH_core.json records")
+            continue
+        m = re.search(r"(\d+(?:\.\d+)?)\s*x", line)
+        if not m:
+            problems.append(
+                f"README.md line naming {workload} quotes no 'Nx' speedup "
+                f"to check against the recorded {speedup}x")
+        elif abs(float(m.group(1)) - speedup) > 0.051:
+            problems.append(
+                f"README.md claims {m.group(1)}x on {workload} but "
+                f"BENCH_core.json records {speedup}x")
+    return problems
+
+
 def check_histogram_buckets(repo, bench):
     header = read_text(repo, os.path.join("src", "obs", "telemetry.h"))
     readme = read_text(repo, "README.md")
@@ -216,6 +283,7 @@ CHECKS = [
     ("coverage-gate", check_coverage_gate),
     ("single-core-caveats", check_single_core_caveats),
     ("telemetry-budget", check_telemetry_budget),
+    ("packed-speedup", check_packed_speedup),
     ("histogram-buckets", check_histogram_buckets),
 ]
 

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Emits BENCH_core.json at the repo root: the core hot-path benchmarks
-# (BM_Flip and BM_GlauberRun at w in {2, 4, 10}, plus the BM_GlauberSweep
-# giant-lattice scaling curve — serial engine vs 1/2/4/8 stripe shards at
-# n in {1024, 2048, 4096}) in Google Benchmark's JSON format, annotated
-# with the seed-implementation baselines and the sharded-vs-serial
-# speedups so the perf trajectory is tracked PR over PR.
+# (BM_Flip and BM_GlauberRun at w in {2, 4, 10} on both storage backends
+# — trailing benchmark arg 0 = byte, 1 = bit-packed — plus the
+# BM_GlauberSweep giant-lattice scaling curve: packed serial engine vs
+# 1/2/4/8 stripe shards at n in {1024, 2048, 4096}, with byte reference
+# rows) in Google Benchmark's JSON format, annotated with the
+# seed-implementation baselines, the sharded-vs-serial speedups, and the
+# packed-vs-byte storage ratios so the perf trajectory is tracked PR
+# over PR.
 #
 # The sharded speedups are wall-clock flips/sec ratios and therefore
 # bounded by the host's physical parallelism: on a 1-core container every
@@ -36,7 +39,7 @@ trap 'rm -rf "$tmp"' EXIT
 # spread on the same loop is >10%), so the overhead is computed from the
 # min over 5 repetitions of each flip variant.
 (cd "$tmp" && "$repo/build/perf_core" \
-    --benchmark_filter='^(BM_Flip/10$|BM_FlipTelemetry)' \
+    --benchmark_filter='^(BM_Flip/10/1$|BM_FlipTelemetry)' \
     --benchmark_min_time=0.1 \
     --benchmark_repetitions=5 \
     --benchmark_report_aggregates_only=false \
@@ -48,8 +51,10 @@ import sys
 
 raw = json.load(open(sys.argv[1]))
 # Pre-lattice-engine (seed) timings for the same workloads, measured at
-# the start of the unified-engine PR on the reference container. The
-# engine PR's acceptance bar is >= 3x on BM_Flip/10.
+# the start of the unified-engine PR on the reference container. Keyed
+# without the trailing storage argument (BM_Flip/<w>, not
+# BM_Flip/<w>/<storage>): the seed predates the backend split, so both
+# backends' rows get the same baseline.
 seed_ns = {
     "BM_Flip/2": 1020.0,
     "BM_Flip/4": 2643.0,
@@ -57,23 +62,42 @@ seed_ns = {
     "BM_GlauberRun/64/2": 724903.0,
     "BM_GlauberRun/128/2": 2806754.0,
 }
-serial_rate = {}   # n -> serial-engine flips/sec
+# Byte-engine timings recorded by the previous PR's BENCH_core.json on
+# the reference container (pre-bit-packing state of this repo) — the
+# bit-packing PR's speedup claims in README.md are measured against
+# these, and scripts/audit.py cross-checks the claims.
+prior_byte_ns = {
+    "BM_Flip/10": 1522.1,
+    "BM_GlauberRun/128/10": 10299211.8,
+}
+serial_rate = {}   # n -> packed serial-engine flips/sec
 sweep_rows = []
 recording = {}     # n -> {mode: real_time}; mode 0 = rescan, 1 = streaming
+by_storage = {}    # workload (name sans storage arg) -> {storage: ns}
 for bench in raw.get("benchmarks", []):
     name = bench.get("name", "")
-    baseline = seed_ns.get(name)
-    if baseline is not None and bench.get("real_time"):
-        bench["seed_baseline_ns"] = baseline
-        bench["speedup_vs_seed"] = round(baseline / bench["real_time"], 2)
+    parts = name.split("/")
+    workload = None
+    if name.startswith(("BM_Flip/", "BM_GlauberRun/")):
+        # BM_Flip/<w>/<storage>, BM_GlauberRun/<n>/<w>/<storage>
+        workload, storage = "/".join(parts[:-1]), int(parts[-1])
+    elif name.startswith("BM_GlauberSweep/"):
+        # BM_GlauberSweep/<n>/<shards>/<storage>/real_time
+        workload = "/".join(parts[:3])
+        storage = int(parts[3])
+    if workload is not None and bench.get("real_time"):
+        by_storage.setdefault(workload, {})[storage] = bench["real_time"]
+        baseline = seed_ns.get(workload)
+        if baseline is not None:
+            bench["seed_baseline_ns"] = baseline
+            bench["speedup_vs_seed"] = round(baseline / bench["real_time"], 2)
     if name.startswith("BM_GlauberSweep/"):
-        parts = name.split("/")  # BM_GlauberSweep/<n>/<shards>/real_time
-        n, shards = int(parts[1]), int(parts[2])
-        if shards == 0:
-            serial_rate[n] = bench["items_per_second"]
-        sweep_rows.append((n, shards, bench))
+        n, shards, storage = int(parts[1]), int(parts[2]), int(parts[3])
+        if storage == 1:
+            if shards == 0:
+                serial_rate[n] = bench["items_per_second"]
+            sweep_rows.append((n, shards, bench))
     if name.startswith("BM_StreamingObservables/"):
-        parts = name.split("/")  # BM_StreamingObservables/<n>/<mode>
         n, mode = int(parts[1]), int(parts[2])
         recording.setdefault(n, {})[mode] = bench["real_time"]
 
@@ -107,6 +131,32 @@ context["sharded_scaling"] = {
             "measures framework overhead only (the >=3x target at "
             "n=2048/8 shards needs >=4 physical cores)",
 }
+# Packed-vs-byte storage comparison: same-run ratio between the two
+# backend rows of each workload, plus the speedup of the packed backend
+# over the byte-engine numbers the *previous PR* recorded (the honest
+# "what did this PR buy" figure — README.md's claims quote these, and
+# scripts/audit.py fails if they drift from what is recorded here).
+packed_vs_byte = {
+    wl: round(times[0] / times[1], 2)
+    for wl, times in sorted(by_storage.items())
+    if 0 in times and 1 in times and times[1] > 0
+}
+vs_prior = {
+    wl: {
+        "prior_byte_ns": prior,
+        "packed_ns": round(by_storage[wl][1], 1),
+        "speedup": round(prior / by_storage[wl][1], 2),
+    }
+    for wl, prior in prior_byte_ns.items()
+    if by_storage.get(wl, {}).get(1)
+}
+context["packed_storage"] = {
+    "metric": "bit-packed backend (storage arg 1: one bit/site, int16 "
+              "counts, AVX-512 flip kernel where the CPU has it) vs the "
+              "byte backend (storage arg 0) on the same workloads",
+    "packed_over_byte_same_run": packed_vs_byte,
+    "packed_vs_prior_recorded_byte": vs_prior,
+}
 
 # Telemetry overhead: BM_FlipTelemetry/{0,1} is the BM_Flip/10 loop with
 # the runtime telemetry switch off/on. The disabled ratio is the cost the
@@ -124,7 +174,7 @@ for bench in reps.get("benchmarks", []):
     prev = flip_times.get(name)
     flip_times[name] = min(prev, bench["real_time"]) if prev else \
         bench["real_time"]
-base = flip_times.get("BM_Flip/10")
+base = flip_times.get("BM_Flip/10/1")
 if base:
     overhead = {}
     for arg, label in ((0, "disabled"), (1, "enabled")):

@@ -24,7 +24,7 @@ BinarySpinEngine ComfortModel::make_engine(const ComfortParams& params,
                           neighborhood_offsets(NeighborhoodShape::kMoore,
                                                params.w),
                           std::move(spins), std::move(table),
-                          /*set_count=*/1);
+                          /*set_count=*/1, ShardLayout(), params.storage);
 }
 
 ComfortModel::ComfortModel(const ComfortParams& params, Rng& rng)
@@ -39,9 +39,7 @@ ComfortModel::ComfortModel(const ComfortParams& params,
       engine_(make_engine(params, std::move(spins))) {}
 
 std::int8_t ComfortModel::spin_at(int x, int y) const {
-  return spins()[static_cast<std::size_t>(torus_wrap(y, params_.n)) *
-                     params_.n +
-                 torus_wrap(x, params_.n)];
+  return engine_.spin(engine_.geometry().id_of(x, y));
 }
 
 std::uint32_t ComfortModel::id_of(int x, int y) const {

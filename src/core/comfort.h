@@ -33,6 +33,8 @@ struct ComfortParams {
   double tau_lo = 0.45;  // minimum comfortable same-type fraction
   double tau_hi = 1.0;   // maximum comfortable same-type fraction
   double p = 0.5;
+  // Engine storage backend; see ModelParams::storage.
+  EngineStorage storage = EngineStorage::kDefault;
 
   int neighborhood_size() const { return (2 * w + 1) * (2 * w + 1); }
   // Inclusive integer band [k_lo, k_hi] on the same-type count.
@@ -66,7 +68,9 @@ class ComfortModel {
 
   std::int8_t spin(std::uint32_t id) const { return engine_.spin(id); }
   std::int8_t spin_at(int x, int y) const;
-  const std::vector<std::int8_t>& spins() const { return engine_.spins(); }
+  // Snapshot by value; see SchellingModel::spins().
+  std::vector<std::int8_t> spins() const { return engine_.spins_snapshot(); }
+  BitField packed_spins() const { return engine_.packed_spins(); }
   std::uint32_t id_of(int x, int y) const;
 
   std::int32_t same_count(std::uint32_t id) const;

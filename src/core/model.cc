@@ -50,7 +50,8 @@ BinarySpinEngine SchellingModel::make_engine(const ModelParams& params,
                           params.shape == NeighborhoodShape::kMoore,
                           neighborhood_offsets(params.shape, params.w),
                           std::move(spins), std::move(table),
-                          /*set_count=*/2, std::move(layout));
+                          /*set_count=*/2, std::move(layout),
+                          params.storage);
 }
 
 SchellingModel::SchellingModel(const ModelParams& params, Rng& rng)
@@ -75,9 +76,7 @@ SchellingModel::SchellingModel(const ModelParams& params,
       engine_(make_engine(params, std::move(spins), std::move(layout))) {}
 
 std::int8_t SchellingModel::spin_at(int x, int y) const {
-  return spins()[static_cast<std::size_t>(torus_wrap(y, params_.n)) *
-                     params_.n +
-                 torus_wrap(x, params_.n)];
+  return engine_.spin(engine_.geometry().id_of(x, y));
 }
 
 std::uint32_t SchellingModel::id_of(int x, int y) const {
@@ -114,9 +113,8 @@ double SchellingModel::happy_fraction() const {
 }
 
 double SchellingModel::plus_fraction() const {
-  std::size_t plus = 0;
-  for (const auto s : spins()) plus += (s > 0);
-  return static_cast<double>(plus) / static_cast<double>(agent_count());
+  return static_cast<double>(engine_.plus_total()) /
+         static_cast<double>(agent_count());
 }
 
 bool SchellingModel::check_invariants() const {

@@ -63,7 +63,18 @@ class SchellingModel {
 
   std::int8_t spin(std::uint32_t id) const { return engine_.spin(id); }
   std::int8_t spin_at(int x, int y) const;
-  const std::vector<std::int8_t>& spins() const { return engine_.spins(); }
+  // Snapshot of the spin field, one byte per site. Returns BY VALUE: the
+  // packed storage backend has no byte array to reference, so the old
+  // by-reference accessor is gone — hot loops should iterate spin(id) or
+  // hoist one snapshot instead of calling this per element.
+  std::vector<std::int8_t> spins() const { return engine_.spins_snapshot(); }
+  std::vector<std::int8_t> spins_snapshot() const {
+    return engine_.spins_snapshot();
+  }
+  // One-bit-per-site copy of the field (cheap under packed storage);
+  // feeds the popcount scanners (PackedHaloField, packed_window_count).
+  BitField packed_spins() const { return engine_.packed_spins(); }
+  EngineStorage storage() const { return engine_.storage(); }
 
   std::uint32_t id_of(int x, int y) const;
   Point point_of(std::uint32_t id) const;
@@ -110,6 +121,13 @@ class SchellingModel {
   }
   std::size_t count_flippable() const {
     return engine_.set_size(kFlippableSet);
+  }
+  // O(1) classification read off the engine's membership code byte (no
+  // window rescan, no shard-routed set probe). The synchronous sweep's
+  // row-wise batch builder scans this over ascending ids so the
+  // accept/reject test is one byte test per site.
+  bool flippable_cached(std::uint32_t id) const {
+    return ((engine_.code(id) >> kFlippableSet) & 1u) != 0;
   }
 
   // Flips the spin of `id` and restores all invariants in one window

@@ -16,6 +16,7 @@
 
 #include <cassert>
 
+#include "lattice/storage.h"
 #include "theory/bounds.h"
 
 namespace seg {
@@ -34,6 +35,10 @@ struct ModelParams {
   double p = 0.5;     // initial Bernoulli parameter for type +1
   double tau_minus = -1.0;  // optional separate intolerance for type -1
   NeighborhoodShape shape = NeighborhoodShape::kMoore;
+  // Engine storage backend; kDefault resolves to the build default
+  // (packed unless -DSEG_PACKED_DEFAULT=OFF). Trajectories are bitwise
+  // identical under either backend — this only selects the layout.
+  EngineStorage storage = EngineStorage::kDefault;
 
   int neighborhood_size() const {
     return shape == NeighborhoodShape::kMoore

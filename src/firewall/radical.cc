@@ -18,15 +18,14 @@ namespace {
 std::int64_t count_type_in_ball(const SchellingModel& model, Point center,
                                 int r, std::int8_t type) {
   const int n = model.side();
-  const std::int8_t* spins = model.spins().data();
-  std::int64_t count = 0;
-  for_each_window_span(torus_wrap(center.x, n), torus_wrap(center.y, n), r,
-                       n, [&](std::size_t base, int len) {
-                         for (int i = 0; i < len; ++i) {
-                           count += spins[base + i] == type;
-                         }
-                       });
-  return count;
+  // One masked-popcount pass over the packed field: count the +1 agents
+  // in the ball, then complement for a minority of type -1.
+  const std::int32_t plus = packed_window_count(
+      model.packed_spins(), torus_wrap(center.x, n), torus_wrap(center.y, n),
+      r);
+  if (type > 0) return plus;
+  const int side = 2 * r + 1;
+  return static_cast<std::int64_t>(side) * side - plus;
 }
 
 // The deflated-density bound of the radical-region test; `effective_tau`
@@ -92,18 +91,16 @@ std::vector<Point> find_radical_regions(const SchellingModel& model,
   const double bound =
       radical_bound(model, params, effective_tau, neighborhood_size(rr));
   // Every one of the n^2 centers scans the same spin field: snapshot it
-  // once into a halo-padded copy so the per-center ball count reads
-  // contiguous rows with no wrapping.
-  const HaloField<std::int8_t> field(model.spins(), n, rr);
+  // once into a halo-padded packed copy so the per-center ball count is a
+  // handful of masked popcounts with no wrapping. The window's minority
+  // count is the +1 popcount (minority == +1) or its complement.
+  const std::int64_t region_size = neighborhood_size(rr);
+  const PackedHaloField field(model.packed_spins(), rr);
   for (int y = 0; y < n; ++y) {
     for (int x = 0; x < n; ++x) {
-      std::int64_t minority_count = 0;
-      field.for_each_window_row(x, y, rr,
-                                [&](const std::int8_t* row, int len) {
-                                  for (int i = 0; i < len; ++i) {
-                                    minority_count += row[i] == minority;
-                                  }
-                                });
+      const std::int64_t plus = field.count_window(x, y, rr);
+      const std::int64_t minority_count =
+          minority > 0 ? plus : region_size - plus;
       if (static_cast<double>(minority_count) < bound) {
         centers.push_back(Point{x, y});
       }

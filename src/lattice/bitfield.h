@@ -1,0 +1,169 @@
+// One-bit-per-site spin storage for the packed engine backend.
+//
+// Layout: row-major torus rows, each padded to whole 64-bit words
+// (words_per_row = ceil(n / 64)); bit x of row y is bit (x & 63) of word
+// (y * words_per_row + x / 64), set iff the spin is +1. Padding bits
+// beyond column n - 1 are kept zero so whole-word popcounts never need a
+// row-tail mask beyond the interval being counted.
+//
+// Concurrency: the sharded sweep engine flips interior sites of distinct
+// shards from different threads. Distinct sites can share a word when a
+// checkerboard layout cuts columns at a non-64-aligned offset, so the
+// engine switches those flips to flip_atomic() (a relaxed fetch-xor).
+// All reads go through relaxed atomic loads, which compile to plain MOVs
+// on every target we build for — zero cost serially, and no torn/UB reads
+// next to a concurrent fetch-xor on the same word.
+//
+// SEG_NO_POPCNT (CMake option) replaces std::popcount with a portable
+// SWAR reduction for targets without a popcount instruction; the CI
+// portable-build job runs the differential + fuzz batteries against it.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace seg {
+
+inline int popcount64(std::uint64_t x) {
+#if defined(SEG_NO_POPCNT)
+  // SWAR bit-count (Hacker's Delight 5-2): no hardware popcount needed.
+  x = x - ((x >> 1) & 0x5555555555555555ull);
+  x = (x & 0x3333333333333333ull) + ((x >> 2) & 0x3333333333333333ull);
+  x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0full;
+  return static_cast<int>((x * 0x0101010101010101ull) >> 56);
+#else
+  return std::popcount(x);
+#endif
+}
+
+class BitField {
+ public:
+  BitField() = default;
+
+  // All-minus (all bits clear) field of side n.
+  explicit BitField(int n)
+      : n_(n),
+        words_per_row_((n + 63) / 64),
+        words_(static_cast<std::size_t>(n) * words_per_row_, 0) {
+    assert(n > 0);
+  }
+
+  // Packs a +1/-1 spin field (bit set iff spin > 0).
+  BitField(const std::vector<std::int8_t>& spins, int n) : BitField(n) {
+    assert(spins.size() == static_cast<std::size_t>(n) * n);
+    for (int y = 0; y < n; ++y) {
+      const std::int8_t* src = spins.data() + static_cast<std::size_t>(y) * n;
+      std::uint64_t* dst = words_.data() + row_offset(y);
+      for (int x = 0; x < n; ++x) {
+        dst[x >> 6] |= static_cast<std::uint64_t>(src[x] > 0)
+                       << (x & 63);
+      }
+    }
+  }
+
+  int side() const { return n_; }
+  int words_per_row() const { return words_per_row_; }
+  bool empty() const { return n_ == 0; }
+  const std::uint64_t* row_words(int y) const {
+    return words_.data() + row_offset(y);
+  }
+
+  bool test(std::uint32_t id) const {
+    const std::uint32_t x = id % static_cast<std::uint32_t>(n_);
+    return ((load_word(word_index(id)) >> (x & 63u)) & 1u) != 0;
+  }
+  std::int8_t spin(std::uint32_t id) const { return test(id) ? 1 : -1; }
+
+  void flip(std::uint32_t id) { words_[word_index(id)] ^= bit_of(id); }
+  // Relaxed fetch-xor for flips whose word may be shared with another
+  // shard's concurrent flip (see the concurrency note above).
+  void flip_atomic(std::uint32_t id) {
+    __atomic_fetch_xor(&words_[word_index(id)], bit_of(id),
+                       __ATOMIC_RELAXED);
+  }
+
+  void assign(std::uint32_t id, bool plus) {
+    std::uint64_t& w = words_[word_index(id)];
+    const std::uint64_t bit = bit_of(id);
+    w = plus ? (w | bit) : (w & ~bit);
+  }
+
+  // +1 count over the wrapped column interval [x0, x0 + len) of row y;
+  // requires 0 <= x0 < n and 0 < len <= n. Masked popcounts over the
+  // covered words — no per-cell iteration.
+  std::int32_t count_row(int y, int x0, int len) const {
+    assert(y >= 0 && y < n_ && x0 >= 0 && x0 < n_ && len > 0 && len <= n_);
+    const std::uint64_t* row = words_.data() + row_offset(y);
+    const int end = x0 + len;
+    if (end <= n_) return count_segment(row, x0, end);
+    return count_segment(row, x0, n_) + count_segment(row, 0, end - n_);
+  }
+
+  // Total +1 count (padding bits are invariantly zero).
+  std::int64_t count_all() const {
+    std::int64_t total = 0;
+    for (const std::uint64_t w : words_) total += popcount64(w);
+    return total;
+  }
+
+  std::vector<std::int8_t> unpack() const {
+    std::vector<std::int8_t> spins(static_cast<std::size_t>(n_) * n_);
+    for (int y = 0; y < n_; ++y) {
+      const std::uint64_t* src = words_.data() + row_offset(y);
+      std::int8_t* dst = spins.data() + static_cast<std::size_t>(y) * n_;
+      for (int x = 0; x < n_; ++x) {
+        dst[x] = (src[x >> 6] >> (x & 63)) & 1u ? 1 : -1;
+      }
+    }
+    return spins;
+  }
+
+  friend bool operator==(const BitField& a, const BitField& b) {
+    return a.n_ == b.n_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::size_t row_offset(int y) const {
+    return static_cast<std::size_t>(y) * words_per_row_;
+  }
+  std::size_t word_index(std::uint32_t id) const {
+    const std::uint32_t n = static_cast<std::uint32_t>(n_);
+    return static_cast<std::size_t>(id / n) * words_per_row_ +
+           ((id % n) >> 6);
+  }
+  std::uint64_t bit_of(std::uint32_t id) const {
+    const std::uint32_t x = id % static_cast<std::uint32_t>(n_);
+    return 1ull << (x & 63u);
+  }
+  std::uint64_t load_word(std::size_t i) const {
+    return __atomic_load_n(&words_[i], __ATOMIC_RELAXED);
+  }
+
+  // Popcount of row bits [a, b), no wrap; 0 <= a < b <= n.
+  std::int32_t count_segment(const std::uint64_t* row, int a, int b) const {
+    const int wa = a >> 6;
+    const int wb = (b - 1) >> 6;
+    const std::uint64_t head = ~0ull << (a & 63);
+    const std::uint64_t tail = ~0ull >> (63 - ((b - 1) & 63));
+    const std::uint64_t* base = row + wa;
+    if (wa == wb) {
+      return popcount64(__atomic_load_n(base, __ATOMIC_RELAXED) & head &
+                        tail);
+    }
+    std::int32_t c = popcount64(__atomic_load_n(base, __ATOMIC_RELAXED) &
+                                head);
+    for (int wi = wa + 1; wi < wb; ++wi) {
+      c += popcount64(__atomic_load_n(row + wi, __ATOMIC_RELAXED));
+    }
+    return c + popcount64(__atomic_load_n(row + wb, __ATOMIC_RELAXED) &
+                          tail);
+  }
+
+  int n_ = 0;
+  int words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace seg

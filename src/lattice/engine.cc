@@ -4,13 +4,26 @@
 
 #include "grid/box_sum.h"
 
+#if SEG_ENGINE_AVX512
+#include <immintrin.h>
+#endif
+
 namespace seg {
+
+#if SEG_ENGINE_AVX512
+namespace {
+bool cpu_has_avx512bw() {
+  static const bool ok = __builtin_cpu_supports("avx512bw");
+  return ok;
+}
+}  // namespace
+#endif
 
 BinarySpinEngine::BinarySpinEngine(int n, int w, bool dense_window,
                                    std::vector<Point> offsets,
                                    std::vector<std::int8_t> spins,
                                    MembershipTable table, int set_count,
-                                   ShardLayout layout)
+                                   ShardLayout layout, EngineStorage storage)
     : geometry_(n, w),
       layout_(std::move(layout)),
       shard_count_(layout_.shard_count()),
@@ -26,6 +39,12 @@ BinarySpinEngine::BinarySpinEngine(int n, int w, bool dense_window,
   assert(!dense_window_ ||
          static_cast<int>(offsets_.size()) == geometry_.window_size());
   assert(layout_.compatible(n, w));
+  storage_ = resolve_storage(storage);
+  // int16 counts cap the packed window at 32767 sites (w <= 90 on the
+  // Moore stencil); larger windows keep the byte backend.
+  if (storage_ == EngineStorage::kPacked && window_size() > 32767) {
+    storage_ = EngineStorage::kByte;
+  }
   sets_.reserve(static_cast<std::size_t>(set_count_) * shard_count_);
   for (int i = 0; i < set_count_ * shard_count_; ++i) {
     // Each shard slice spans only its shard's id window, so sharded set
@@ -38,28 +57,37 @@ BinarySpinEngine::BinarySpinEngine(int n, int w, bool dense_window,
     }
   }
   init_counts();
+  if (packed()) {
+    bits_ = BitField(spins_, n);
+    atomic_bits_ = !layout_.trivial() && layout_.splits_aligned_columns(64);
+    plus_count16_.assign(plus_count_.begin(), plus_count_.end());
+    // The byte-side arrays are dead weight under the packed backend; the
+    // bit array plus int16 counts ARE the working set.
+    plus_count_.clear();
+    plus_count_.shrink_to_fit();
+    spins_.clear();
+    spins_.shrink_to_fit();
+  }
   init_codes();
   init_breaks();
+#if SEG_ENGINE_AVX512
+  simd_kernel_ =
+      packed() && dense_window_ && sparse_crossings_ && cpu_has_avx512bw();
+#endif
 }
 
 void BinarySpinEngine::init_breaks() {
-  const int N = window_size();
-  sparse_crossings_ = true;
-  int found = 0;
-  for (int c = 1; c <= N; ++c) {
-    if (table_.code(true, c) == table_.code(true, c - 1) &&
-        table_.code(false, c) == table_.code(false, c - 1)) {
-      continue;
-    }
-    if (found == kMaxBreaks) {
-      sparse_crossings_ = false;
-      break;
-    }
-    breaks_[found++] = c;
-  }
+  // MembershipTable::breaks() enumerates the crossing counts; the flip
+  // fast path needs them in registers, padded to a fixed compare width.
+  const std::vector<std::int32_t> found = table_.breaks();
+  sparse_crossings_ = found.size() <= static_cast<std::size_t>(kMaxBreaks);
+  break_count_ =
+      sparse_crossings_ ? static_cast<int>(found.size()) : kMaxBreaks;
   // Sentinel no count can reach: counts stay in [0, N] and the flip loop
   // compares against break or break - 1.
-  for (int k = found; k < kMaxBreaks; ++k) breaks_[k] = -2;
+  for (int k = 0; k < kMaxBreaks; ++k) {
+    breaks_[k] = sparse_crossings_ && k < break_count_ ? found[k] : -2;
+  }
 }
 
 void BinarySpinEngine::init_counts() {
@@ -91,9 +119,10 @@ void BinarySpinEngine::init_counts() {
 
 void BinarySpinEngine::init_codes() {
   const std::uint8_t* tbl = table_.data();
-  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
+  const std::size_t sites = size();
+  for (std::uint32_t id = 0; id < sites; ++id) {
     const std::uint8_t want =
-        tbl[table_.spin_offset(spins_[id]) + plus_count_[id]];
+        tbl[table_.spin_offset(spin(id)) + plus_count(id)];
     if (want != 0) {
       apply_code(id, 0, want);
       status_[id] = want;
@@ -101,70 +130,107 @@ void BinarySpinEngine::init_codes() {
   }
 }
 
-void BinarySpinEngine::flip_impl(std::uint32_t id) {
-  SEG_ASSERT(id < spins_.size(),
-             "flip of out-of-range site " << id << " (lattice has "
-                                          << spins_.size() << " sites)");
-  SEG_ASSERT(spins_[id] == 1 || spins_[id] == -1,
-             "site " << id << " holds corrupt spin "
-                     << static_cast<int>(spins_[id]));
-  const std::int8_t old_spin = spins_[id];
-  spins_[id] = static_cast<std::int8_t>(-old_spin);
-  const std::int32_t delta = old_spin > 0 ? -1 : +1;
-  if (dense_window_ && sparse_crossings_) {
-    // A code changes when the count crosses a piece boundary: arriving at
-    // `break` going up, or at `break - 1` going down. Two passes per row
-    // span — a count update and an any-hit OR-reduction, both against
-    // register constants only, both auto-vectorizable — and a rescan of
-    // the (rare) spans that contain a crossing.
-    const std::int32_t shift = delta < 0 ? 1 : 0;
-    const std::int32_t b0 = breaks_[0] - shift;
-    const std::int32_t b1 = breaks_[1] - shift;
-    const std::int32_t b2 = breaks_[2] - shift;
-    const std::int32_t b3 = breaks_[3] - shift;
-    const std::int32_t b4 = breaks_[4] - shift;
-    const std::int32_t b5 = breaks_[5] - shift;
-    const std::int32_t b6 = breaks_[6] - shift;
-    const std::int32_t b7 = breaks_[7] - shift;
-    geometry_.for_each_span(id, [&](std::size_t base, int len) {
-      SEG_ASSERT(base + static_cast<std::size_t>(len) <= plus_count_.size(),
-                 "window span [" << base << ", " << base + len
-                                 << ") of site " << id
-                                 << " escapes the lattice");
-      std::int32_t* cnt = plus_count_.data() + base;
-      // The flipped agent itself changes code by changing sign, not by
-      // crossing a count boundary — its span always rescans, and the
-      // rescan must hit it at its window position to keep the legacy set
-      // mutation order.
-      const bool has_center =
-          id >= base && id < base + static_cast<std::size_t>(len);
-      unsigned any = has_center ? 1 : 0;
+template <typename CountT, int NB>
+void BinarySpinEngine::flip_dense_sparse(std::uint32_t id,
+                                         std::int32_t delta,
+                                         CountT* counts) {
+  // A code changes when the count crosses a piece boundary: arriving at
+  // `break` going up, or at `break - 1` going down. Two passes per row
+  // span — a count update and an any-hit OR-reduction, both against
+  // register constants only, both auto-vectorizable — and a rescan of
+  // the (rare) spans that contain a crossing. The sentinel padding (-2,
+  // shifted to -3 going down) can never equal a count in [0, N], so the
+  // 4-compare kernel is exact whenever the model has <= 4 boundaries.
+  const std::int32_t shift = delta < 0 ? 1 : 0;
+  CountT b[NB];
+  for (int k = 0; k < NB; ++k) {
+    b[k] = static_cast<CountT>(breaks_[k] - shift);
+  }
+  const CountT d = static_cast<CountT>(delta);
+  geometry_.for_each_span(id, [&](std::size_t base, int len) {
+    SEG_ASSERT(base + static_cast<std::size_t>(len) <= size(),
+               "window span [" << base << ", " << base + len
+                               << ") of site " << id
+                               << " escapes the lattice");
+    CountT* cnt = counts + base;
+    // The flipped agent itself changes code by changing sign, not by
+    // crossing a count boundary — its span always rescans, and the
+    // rescan must hit it at its window position to keep the legacy set
+    // mutation order.
+    const bool has_center =
+        id >= base && id < base + static_cast<std::size_t>(len);
+    unsigned any = has_center ? 1 : 0;
+    for (int i = 0; i < len; ++i) {
+      const CountT c = static_cast<CountT>(cnt[i] + d);
+      cnt[i] = c;
+      unsigned hit = 0;
+      for (int k = 0; k < NB; ++k) {
+        hit |= static_cast<unsigned>(c == b[k]);
+      }
+      any |= hit;
+    }
+    if (any) {
       for (int i = 0; i < len; ++i) {
-        const std::int32_t c = cnt[i] + delta;
-        cnt[i] = c;
-        any |= static_cast<unsigned>((c == b0) | (c == b1) | (c == b2) |
-                                     (c == b3) | (c == b4) | (c == b5) |
-                                     (c == b6) | (c == b7));
-      }
-      if (any) {
-        for (int i = 0; i < len; ++i) {
-          const auto j = static_cast<std::uint32_t>(base + i);
-          const std::int32_t c = cnt[i];
-          if ((c == b0) | (c == b1) | (c == b2) | (c == b3) | (c == b4) |
-              (c == b5) | (c == b6) | (c == b7) | (j == id)) {
-            touch(j, c);
-          }
+        const auto j = static_cast<std::uint32_t>(base + i);
+        const CountT c = cnt[i];
+        unsigned hit = j == id ? 1u : 0u;
+        for (int k = 0; k < NB; ++k) {
+          hit |= static_cast<unsigned>(c == b[k]);
         }
+        if (hit) touch(j, c);
       }
-    });
+    }
+  });
+}
+
+void BinarySpinEngine::flip_impl(std::uint32_t id) {
+  SEG_ASSERT(id < size(),
+             "flip of out-of-range site " << id << " (lattice has "
+                                          << size() << " sites)");
+  const std::int8_t old_spin = spin(id);
+  SEG_ASSERT(old_spin == 1 || old_spin == -1,
+             "site " << id << " holds corrupt spin "
+                     << static_cast<int>(old_spin));
+  if (packed()) {
+    // Packed-path flip counter: same slab-write contract as
+    // "engine.flips" above; disabled cost is one relaxed load + branch.
+    SEG_COUNT("engine.packed_flips", 1);
+    if (atomic_bits_) {
+      bits_.flip_atomic(id);
+    } else {
+      bits_.flip(id);
+    }
+  } else {
+    spins_[id] = static_cast<std::int8_t>(-old_spin);
+  }
+  const std::int32_t delta = old_spin > 0 ? -1 : +1;
+#if SEG_ENGINE_AVX512
+  if (simd_kernel_) {
+    flip_packed_avx512(id, delta);
+    return;
+  }
+#endif
+  if (dense_window_ && sparse_crossings_) {
+    if (packed()) {
+      if (break_count_ <= 4) {
+        flip_dense_sparse<std::int16_t, 4>(id, delta, plus_count16_.data());
+      } else {
+        flip_dense_sparse<std::int16_t, 8>(id, delta, plus_count16_.data());
+      }
+    } else {
+      if (break_count_ <= 4) {
+        flip_dense_sparse<std::int32_t, 4>(id, delta, plus_count_.data());
+      } else {
+        flip_dense_sparse<std::int32_t, 8>(id, delta, plus_count_.data());
+      }
+    }
     return;
   }
   if (dense_window_) {
     geometry_.for_each_span(id, [&](std::size_t base, int len) {
-      std::int32_t* cnt = plus_count_.data() + base;
       for (int i = 0; i < len; ++i) {
-        cnt[i] += delta;
-        touch(static_cast<std::uint32_t>(base + i), cnt[i]);
+        const auto j = static_cast<std::uint32_t>(base + i);
+        touch(j, bump_count(j, delta));
       }
     });
     return;
@@ -176,24 +242,132 @@ void BinarySpinEngine::flip_impl(std::uint32_t id) {
     const std::uint32_t j = static_cast<std::uint32_t>(
         static_cast<std::size_t>(torus_wrap(cy + o.y, n)) * n +
         torus_wrap(cx + o.x, n));
-    plus_count_[j] += delta;
-    touch(j, plus_count_[j]);
+    touch(j, bump_count(j, delta));
   }
+}
+
+#if SEG_ENGINE_AVX512
+__attribute__((target("avx512f,avx512bw"))) void
+BinarySpinEngine::flip_packed_avx512(std::uint32_t id, std::int32_t delta) {
+  const int n = geometry_.side();
+  const int w = geometry_.radius();
+  const int side = 2 * w + 1;
+  const int cx = static_cast<int>(id % n);
+  const int cy = static_cast<int>(id / n);
+  const std::int32_t shift = delta < 0 ? 1 : 0;
+  const __m512i vd = _mm512_set1_epi16(static_cast<std::int16_t>(delta));
+  // Four compares cover every current model; sentinel-padded lanes never
+  // match a count in [0, N]. Models with 5..8 boundaries take the second
+  // compare block (the branch is perfectly predicted per engine).
+  const __m512i vb0 =
+      _mm512_set1_epi16(static_cast<std::int16_t>(breaks_[0] - shift));
+  const __m512i vb1 =
+      _mm512_set1_epi16(static_cast<std::int16_t>(breaks_[1] - shift));
+  const __m512i vb2 =
+      _mm512_set1_epi16(static_cast<std::int16_t>(breaks_[2] - shift));
+  const __m512i vb3 =
+      _mm512_set1_epi16(static_cast<std::int16_t>(breaks_[3] - shift));
+  const bool wide = break_count_ > 4;
+  __m512i vb4, vb5, vb6, vb7;
+  if (wide) {
+    vb4 = _mm512_set1_epi16(static_cast<std::int16_t>(breaks_[4] - shift));
+    vb5 = _mm512_set1_epi16(static_cast<std::int16_t>(breaks_[5] - shift));
+    vb6 = _mm512_set1_epi16(static_cast<std::int16_t>(breaks_[6] - shift));
+    vb7 = _mm512_set1_epi16(static_cast<std::int16_t>(breaks_[7] - shift));
+  }
+  std::int16_t* counts = plus_count16_.data();
+  // Same decomposition and order as for_each_window_span: rows from
+  // cy - w wrapping upward, each row the wrapped-start segment then (if
+  // the window crosses the seam) the head segment.
+  int x0 = cx - w;
+  if (x0 < 0) x0 += n;
+  int y = cy - w;
+  if (y < 0) y += n;
+  const int tail = n - x0;
+  const bool split = tail < side;
+  const int seg_count = split ? 2 : 1;
+  const int seg_sx[2] = {x0, 0};
+  const int seg_len[2] = {split ? tail : side, side - tail};
+  for (int row = 0; row < side; ++row) {
+    std::int16_t* rowp = counts + static_cast<std::size_t>(y) * n;
+    for (int s = 0; s < seg_count; ++s) {
+      const int sx = seg_sx[s];
+      int off = 0;
+      int remaining = seg_len[s];
+      while (remaining > 0) {
+        const int take = remaining < 32 ? remaining : 32;
+        std::int16_t* cnt = rowp + sx + off;
+        const __mmask32 lanes =
+            take >= 32 ? ~static_cast<__mmask32>(0)
+                       : ((static_cast<__mmask32>(1) << take) - 1);
+        __m512i v = _mm512_maskz_loadu_epi16(lanes, cnt);
+        v = _mm512_add_epi16(v, vd);
+        // Masked store writes only the active lanes — no out-of-window
+        // memory traffic, so the sharded phase-A concurrency contract is
+        // the same as the scalar path's.
+        _mm512_mask_storeu_epi16(cnt, lanes, v);
+        __mmask32 m = _mm512_mask_cmpeq_epi16_mask(lanes, v, vb0);
+        m |= _mm512_mask_cmpeq_epi16_mask(lanes, v, vb1);
+        m |= _mm512_mask_cmpeq_epi16_mask(lanes, v, vb2);
+        m |= _mm512_mask_cmpeq_epi16_mask(lanes, v, vb3);
+        if (wide) {
+          m |= _mm512_mask_cmpeq_epi16_mask(lanes, v, vb4);
+          m |= _mm512_mask_cmpeq_epi16_mask(lanes, v, vb5);
+          m |= _mm512_mask_cmpeq_epi16_mask(lanes, v, vb6);
+          m |= _mm512_mask_cmpeq_epi16_mask(lanes, v, vb7);
+        }
+        // The flipped site changes code by changing sign, not by crossing
+        // a boundary: force its lane so touch() re-resolves it.
+        if (y == cy && cx >= sx + off && cx < sx + off + take) {
+          m |= static_cast<__mmask32>(1) << (cx - sx - off);
+        }
+        std::uint32_t hits = static_cast<std::uint32_t>(m);
+        const auto base = static_cast<std::uint32_t>(
+            static_cast<std::size_t>(y) * n + sx + off);
+        while (hits != 0) {
+          const int j = __builtin_ctz(hits);
+          hits &= hits - 1;
+          touch(base + static_cast<std::uint32_t>(j), cnt[j]);
+        }
+        off += take;
+        remaining -= take;
+      }
+    }
+    if (++y == n) y = 0;
+  }
+}
+#endif  // SEG_ENGINE_AVX512
+
+std::vector<std::int8_t> BinarySpinEngine::spins_snapshot() const {
+  return packed() ? bits_.unpack() : spins_;
+}
+
+BitField BinarySpinEngine::packed_spins() const {
+  return packed() ? bits_ : BitField(spins_, geometry_.side());
+}
+
+std::int64_t BinarySpinEngine::plus_total() const {
+  if (packed()) return bits_.count_all();
+  std::int64_t total = 0;
+  for (const std::int8_t s : spins_) total += (s > 0);
+  return total;
 }
 
 bool BinarySpinEngine::check_invariants() const {
   const int n = geometry_.side();
-  for (std::uint32_t id = 0; id < spins_.size(); ++id) {
-    if (spins_[id] != 1 && spins_[id] != -1) return false;
+  const std::size_t sites = size();
+  for (std::uint32_t id = 0; id < sites; ++id) {
+    if (spin(id) != 1 && spin(id) != -1) return false;
     std::int32_t plus = 0;
     const int cx = static_cast<int>(id % n);
     const int cy = static_cast<int>(id / n);
     for (const Point o : offsets_) {
-      plus += spins_[static_cast<std::size_t>(torus_wrap(cy + o.y, n)) * n +
-                     torus_wrap(cx + o.x, n)] > 0;
+      plus += spin(static_cast<std::uint32_t>(
+                 static_cast<std::size_t>(torus_wrap(cy + o.y, n)) * n +
+                 torus_wrap(cx + o.x, n))) > 0;
     }
-    if (plus != plus_count_[id]) return false;
-    if (status_[id] != table_.code(spins_[id] > 0, plus)) return false;
+    if (plus != plus_count(id)) return false;
+    if (status_[id] != table_.code(spin(id) > 0, plus)) return false;
     const int owner = layout_.shard_of(id);
     for (int s = 0; s < set_count_; ++s) {
       // The membership must live in the owning shard's slice and nowhere

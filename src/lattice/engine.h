@@ -9,6 +9,15 @@
 // membership updates fire only for sites whose count crossed a model
 // threshold — O(#crossings) set operations instead of (2w+1)^2 probes.
 //
+// Storage backends (lattice/storage.h): the byte backend keeps one int8
+// spin per site with int32 counts (the PR 2 reference layout); the packed
+// backend keeps one *bit* per site (lattice/bitfield.h) with int16
+// counts, shrinking the per-flip working set ~2.5x and doubling the SIMD
+// lane count of the span kernels. Both backends execute the identical
+// update sequence — same count values, same touch order, same AgentSet
+// mutation history — so trajectories are bitwise identical; the
+// differential suites drive both against the same frozen golden hashes.
+//
 // Trajectory compatibility: sites are visited in the legacy stencil
 // order and set mutations are applied in ascending set index, which
 // reproduces the pre-engine refresh_membership() mutation sequence
@@ -21,16 +30,30 @@
 // counts, codes, sub-sets), which is what lets the parallel sweep engine
 // (core/parallel_dynamics.h) run interior flips of distinct shards
 // concurrently without locks. With the default trivial layout the engine
-// is bit-for-bit the serial engine of PR 2.
+// is bit-for-bit the serial engine of PR 2. Under the packed backend,
+// two shards can share a 64-bit spin word when a checkerboard layout
+// cuts columns off 64-bit alignment; the engine detects that at
+// construction and routes those flips through atomic fetch-xor.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+// The packed backend's flip kernel has an AVX-512BW specialization (one
+// masked zmm read-modify-write per window row, vpcmpw break detection
+// straight into a k-mask), selected at runtime via cpuid so the binary
+// stays portable. SEG_NO_POPCNT (the portable-build knob) disables every
+// CPU-specific fast path, this one included.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(SEG_NO_POPCNT)
+#define SEG_ENGINE_AVX512 1
+#endif
+
 #include "grid/point.h"
 #include "lattice/agent_set.h"
+#include "lattice/bitfield.h"
 #include "lattice/membership.h"
 #include "lattice/sharded.h"
+#include "lattice/storage.h"
 #include "lattice/window.h"
 #include "obs/telemetry.h"
 #include "util/seg_assert.h"
@@ -62,23 +85,49 @@ class BinarySpinEngine {
   // the span fast path; otherwise (e.g. von Neumann) flips walk the
   // offsets with wrapped indexing. Spins must be +1/-1, size n*n.
   // `layout` must be trivial or partition the same torus with margin w.
+  // `storage` picks the backend; kDefault resolves to the build default
+  // (lattice/storage.h), and windows larger than an int16 count can hold
+  // (> 32767 sites) silently fall back to the byte backend.
   BinarySpinEngine(int n, int w, bool dense_window,
                    std::vector<Point> offsets,
                    std::vector<std::int8_t> spins, MembershipTable table,
-                   int set_count, ShardLayout layout = ShardLayout());
+                   int set_count, ShardLayout layout = ShardLayout(),
+                   EngineStorage storage = EngineStorage::kDefault);
 
   int side() const { return geometry_.side(); }
   int radius() const { return geometry_.radius(); }
   int window_size() const { return static_cast<int>(offsets_.size()); }
-  std::size_t size() const { return spins_.size(); }
+  std::size_t size() const { return geometry_.site_count(); }
   const WindowGeometry& geometry() const { return geometry_; }
 
-  std::int8_t spin(std::uint32_t id) const { return spins_[id]; }
-  const std::vector<std::int8_t>& spins() const { return spins_; }
+  EngineStorage storage() const { return storage_; }
+  bool packed() const { return storage_ == EngineStorage::kPacked; }
+
+  std::int8_t spin(std::uint32_t id) const {
+    return packed() ? bits_.spin(id) : spins_[id];
+  }
+  // Snapshot of the spin field as one byte per site. The pre-packed raw
+  // reference accessor (`const std::vector<int8_t>& spins()`) is gone:
+  // the packed backend has no byte array to reference, so every consumer
+  // goes through spin(id), the snapshot, or the packed accessors below.
+  std::vector<std::int8_t> spins_snapshot() const;
+  // The packed backend's live bit array (valid while the engine lives).
+  // Only meaningful when packed(); byte-backend callers wanting bits use
+  // packed_spins().
+  const BitField& bits() const {
+    SEG_ASSERT(packed(), "bits() called on a byte-storage engine");
+    return bits_;
+  }
+  // One-bit-per-site copy of the field under either backend.
+  BitField packed_spins() const;
+  // Number of +1 sites (a whole-field popcount under the packed backend).
+  std::int64_t plus_total() const;
+
   std::int32_t plus_count(std::uint32_t id) const {
-    return plus_count_[id];
+    return packed() ? plus_count16_[id] : plus_count_[id];
   }
   std::uint8_t code(std::uint32_t id) const { return status_[id]; }
+  const std::vector<std::uint8_t>& codes() const { return status_; }
   const std::vector<Point>& offsets() const { return offsets_; }
 
   // Shard 0's slice of set s — the whole set under the trivial layout.
@@ -114,7 +163,7 @@ class BinarySpinEngine {
     // relaxed load + branch, pinned <= 2% on BM_Flip by BM_FlipTelemetry.
     SEG_COUNT("engine.flips", 1);
     flip_impl(id);
-    if (observer_ != nullptr) observer_->on_flip(id, spins_[id]);
+    if (observer_ != nullptr) observer_->on_flip(id, spin(id));
   }
 
   // At most one observer; nullptr detaches. See the FlipObserver contract
@@ -134,13 +183,40 @@ class BinarySpinEngine {
   // constants only — no per-cell spin load. A hit may be a false positive
   // for the other spin sign; touch() resolves it against the exact table
   // (and does nothing when the code is unchanged). Every current model
-  // has <= 4 boundaries per spin sign, <= 8 in the union.
+  // has <= 4 boundaries per spin sign, <= 8 in the union; flip_impl
+  // dispatches a 4-compare kernel when the union fits in 4.
   static constexpr int kMaxBreaks = 8;
 
   void init_counts();
   void init_codes();
   void init_breaks();
   void flip_impl(std::uint32_t id);
+
+  // The dense span fast path, instantiated per (count type, compare
+  // width): int32/int16 for the byte/packed backends, 4 or 8 break
+  // compares depending on how many boundaries the model actually has.
+  template <typename CountT, int NB>
+  void flip_dense_sparse(std::uint32_t id, std::int32_t delta,
+                         CountT* counts);
+
+#if SEG_ENGINE_AVX512
+  // Packed-backend specialization of the dense fast path: one masked zmm
+  // RMW per window row segment (32 int16 lanes), break hits read directly
+  // off vpcmpw k-masks — no second rescan pass. Touch order is identical
+  // to flip_dense_sparse (legacy stencil order), so trajectories stay
+  // bitwise identical; test_bitfield pins this differentially.
+  __attribute__((target("avx512f,avx512bw"))) void flip_packed_avx512(
+      std::uint32_t id, std::int32_t delta);
+#endif
+
+  // Count bump for the cold paths (dense fallback, generic stencil).
+  std::int32_t bump_count(std::uint32_t id, std::int32_t delta) {
+    if (packed()) {
+      return plus_count16_[id] =
+                 static_cast<std::int16_t>(plus_count16_[id] + delta);
+    }
+    return plus_count_[id] += delta;
+  }
 
   void apply_code(std::uint32_t id, std::uint8_t have, std::uint8_t want) {
     // One branch on the trivial case keeps the serial hot path free of
@@ -172,7 +248,7 @@ class BinarySpinEngine {
                        << " escaped [0, " << window_size()
                        << "] after a window update");
     const std::uint8_t want =
-        table_.data()[table_.spin_offset(spins_[id]) + new_count];
+        table_.data()[table_.spin_offset(spin(id)) + new_count];
     const std::uint8_t have = status_[id];
     if (want != have) {
       apply_code(id, have, want);
@@ -185,14 +261,25 @@ class BinarySpinEngine {
   int shard_count_;
   bool dense_window_;
   bool sparse_crossings_;
+  EngineStorage storage_ = EngineStorage::kByte;
+  // Packed backend only: route bit flips through atomic fetch-xor because
+  // some 64-bit word straddles a shard boundary (checkerboard column cuts
+  // off 64-alignment) and phase-A flips may hit it concurrently.
+  bool atomic_bits_ = false;
+  // Packed + dense + sparse-crossings + cpuid(avx512bw): flips route to
+  // flip_packed_avx512.
+  bool simd_kernel_ = false;
+  int break_count_ = 0;
   // Counts c where code(c) != code(c - 1) for either spin sign, padded
   // with an unreachable sentinel.
   std::int32_t breaks_[kMaxBreaks];
   int set_count_;
   std::vector<Point> offsets_;
   MembershipTable table_;
-  std::vector<std::int8_t> spins_;
-  std::vector<std::int32_t> plus_count_;
+  std::vector<std::int8_t> spins_;        // byte backend (empty if packed)
+  BitField bits_;                         // packed backend
+  std::vector<std::int32_t> plus_count_;  // byte backend counts
+  std::vector<std::int16_t> plus_count16_;  // packed backend counts
   std::vector<std::uint8_t> status_;
   std::vector<AgentSet> sets_;
   FlipObserver* observer_ = nullptr;

@@ -39,6 +39,19 @@ class MembershipTable {
     return spin > 0 ? 0 : stride_;
   }
 
+  // Counts c in [1, N] where the code changes for either spin sign — the
+  // crossing-detection set the engines' flip fast path compares against.
+  std::vector<std::int32_t> breaks() const {
+    std::vector<std::int32_t> found;
+    for (std::int32_t c = 1; c < stride_; ++c) {
+      if (code(true, c) != code(true, c - 1) ||
+          code(false, c) != code(false, c - 1)) {
+        found.push_back(c);
+      }
+    }
+    return found;
+  }
+
  private:
   std::int32_t stride_;
   std::vector<std::uint8_t> table_;

@@ -106,6 +106,14 @@ std::pair<std::uint32_t, std::uint32_t> ShardLayout::id_window(
   return {base, end - base};
 }
 
+bool ShardLayout::splits_aligned_columns(int block) const {
+  if (trivial() || col_bands_ == 1) return false;
+  for (int x = 1; x < n_; ++x) {
+    if (x % block != 0 && col_shard_[x] != col_shard_[x - 1]) return true;
+  }
+  return false;
+}
+
 std::size_t ShardLayout::boundary_site_count() const {
   if (trivial()) return 0;
   std::size_t boundary_rows = 0, boundary_cols = 0;

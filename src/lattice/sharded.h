@@ -88,6 +88,13 @@ class ShardLayout {
     return trivial() || (n_ == n && w_ == w);
   }
 
+  // True iff some `block`-aligned column group spans two column bands —
+  // i.e. a packed spin word of `block` bits would hold sites of two
+  // shards, forcing the packed engine onto atomic bit flips. Stripe
+  // layouts never split columns; checkerboards do whenever a column cut
+  // lands off `block` alignment.
+  bool splits_aligned_columns(int block) const;
+
  private:
   static std::vector<int> band_starts(int n, int bands);
   static void classify_axis(int n, int w, int bands,

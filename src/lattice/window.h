@@ -17,8 +17,31 @@
 #include <cstdint>
 
 #include "grid/point.h"
+#include "lattice/bitfield.h"
 
 namespace seg {
+
+// +1 count of the radius-r window around (cx, cy) on a packed field —
+// the popcount path: one masked-popcount row count per window row
+// (BitField::count_row) instead of per-cell span iteration. (cx, cy)
+// must lie in [0, n); requires 2r+1 <= n.
+inline std::int32_t packed_window_count(const BitField& bits, int cx,
+                                        int cy, int r) {
+  const int n = bits.side();
+  assert(2 * r + 1 <= n);
+  assert(cx >= 0 && cx < n && cy >= 0 && cy < n);
+  const int side = 2 * r + 1;
+  int x0 = cx - r;
+  if (x0 < 0) x0 += n;
+  int y = cy - r;
+  if (y < 0) y += n;
+  std::int32_t total = 0;
+  for (int row = 0; row < side; ++row) {
+    total += bits.count_row(y, x0, side);
+    if (++y == n) y = 0;
+  }
+  return total;
+}
 
 // Calls fn(base, len) for each contiguous row segment of the window of
 // radius r around (cx, cy); `base` is a row-major index into an n*n field.

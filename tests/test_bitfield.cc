@@ -1,0 +1,338 @@
+// The bit-packed storage battery.
+//
+// Layer 1 pins BitField itself: pack/unpack roundtrips, masked-popcount
+// row counts against a scalar reference at every alignment (word-multiple
+// and ragged sides), and the wrapped window popcount at every center.
+// Layer 2 pins PackedHaloField against the byte HaloField it replaces.
+// Layer 3 is the backend differential: every model policy (Glauber,
+// discrete, synchronous, comfort, Kawasaki) must reproduce the *frozen
+// golden trajectory hashes* under BOTH EngineStorage backends — the
+// packed engine is not "close to" the byte engine, it is bit-for-bit the
+// same dynamical system. Layer 4 drives sharded engines (4-stripe and
+// checkerboard layouts, the latter exercising the atomic shared-word bit
+// flips) through identical arbitrary flip sequences on both backends and
+// a packed mutation fuzz with full recount audits.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/comfort.h"
+#include "core/dynamics.h"
+#include "core/kawasaki.h"
+#include "core/model.h"
+#include "golden_fixtures.h"
+#include "lattice/bitfield.h"
+#include "lattice/halo_field.h"
+#include "lattice/sharded.h"
+#include "lattice/window.h"
+#include "rng/rng.h"
+
+namespace seg {
+namespace {
+
+using golden::hash_bytes;
+using golden::mix;
+using golden::mix_double;
+
+std::vector<std::int8_t> random_field(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int8_t> spins(static_cast<std::size_t>(n) * n);
+  for (auto& s : spins) s = rng.bernoulli(0.5) ? 1 : -1;
+  return spins;
+}
+
+// Scalar reference for count_row: walk the wrapped interval cell by cell.
+std::int32_t count_row_reference(const std::vector<std::int8_t>& spins,
+                                 int n, int y, int x0, int len) {
+  std::int32_t c = 0;
+  for (int i = 0; i < len; ++i) {
+    c += spins[static_cast<std::size_t>(y) * n + (x0 + i) % n] > 0;
+  }
+  return c;
+}
+
+TEST(BitField, PackUnpackRoundtrip) {
+  // 130 = 2*64 + 2 exercises ragged final words; 64 exercises the exact
+  // word-multiple layout with no tail masking.
+  for (const int n : {64, 130}) {
+    const auto spins = random_field(n, 40001 + n);
+    const BitField bits(spins, n);
+    EXPECT_EQ(bits.side(), n);
+    EXPECT_EQ(bits.unpack(), spins);
+    std::int64_t plus = 0;
+    for (const std::int8_t s : spins) plus += (s == 1);
+    EXPECT_EQ(bits.count_all(), plus);
+    for (std::uint32_t id = 0; id < spins.size(); ++id) {
+      EXPECT_EQ(bits.spin(id), spins[id]) << "id " << id;
+    }
+  }
+}
+
+TEST(BitField, FlipAndAssignKeepPaddingClear) {
+  const int n = 70;  // 6 padding bits per row
+  const auto spins = random_field(n, 40002);
+  BitField bits(spins, n);
+  Rng rng(40003);
+  std::int64_t plus = bits.count_all();
+  for (int step = 0; step < 4000; ++step) {
+    const auto id =
+        static_cast<std::uint32_t>(rng.uniform_below(std::uint64_t(n) * n));
+    const bool was_plus = bits.test(id);
+    if (rng.bernoulli(0.5)) {
+      bits.flip(id);
+    } else {
+      bits.flip_atomic(id);
+    }
+    plus += was_plus ? -1 : 1;
+    ASSERT_EQ(bits.test(id), !was_plus);
+    // count_all sums raw words: any bit leaked into row padding breaks it.
+    ASSERT_EQ(bits.count_all(), plus) << "step " << step;
+  }
+  for (std::uint32_t id = 0; id < std::uint64_t(n) * n; ++id) {
+    bits.assign(id, spins[id] > 0);
+  }
+  EXPECT_EQ(bits.unpack(), spins);
+}
+
+TEST(BitField, CountRowMatchesScalarAtEveryAlignment) {
+  // n = 192 keeps rows at exact word multiples; n = 130 leaves a 62-bit
+  // ragged tail. Every (x0, len) pair covers all head/tail mask shapes,
+  // the multi-word middle loop, and the wrap-around split.
+  for (const int n : {192, 130}) {
+    const auto spins = random_field(n, 40004 + n);
+    const BitField bits(spins, n);
+    for (const int y : {0, 1, n - 1}) {
+      for (int x0 = 0; x0 < n; ++x0) {
+        for (const int len : {1, 2, 63, 64, 65, 127, 128, n}) {
+          ASSERT_EQ(bits.count_row(y, x0, len),
+                    count_row_reference(spins, n, y, x0, len))
+              << "n=" << n << " y=" << y << " x0=" << x0 << " len=" << len;
+        }
+      }
+    }
+  }
+}
+
+TEST(BitField, PackedWindowCountMatchesScalarAtEveryCenter) {
+  for (const int n : {130, 64}) {
+    const auto spins = random_field(n, 40005 + n);
+    const BitField bits(spins, n);
+    // r = 31 makes 2r+1 = 63 of a 64/130 torus: nearly every window wraps.
+    for (const int r : {1, 5, 31}) {
+      for (int cy = 0; cy < n; ++cy) {
+        for (int cx = 0; cx < n; ++cx) {
+          std::int32_t want = 0;
+          for_each_window_cell(cx, cy, r, n, [&](std::uint32_t id) {
+            want += spins[id] > 0;
+          });
+          ASSERT_EQ(packed_window_count(bits, cx, cy, r), want)
+              << "n=" << n << " r=" << r << " center (" << cx << ", " << cy
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedHaloField, MatchesByteHaloField) {
+  const int n = 96;
+  const auto spins = random_field(n, 40006);
+  const BitField bits(spins, n);
+  for (const int halo : {3, 17}) {
+    const HaloField<std::int8_t> bytes(spins, n, halo);
+    const PackedHaloField packed(bits, halo);
+    for (int y = -halo; y < n + halo; ++y) {
+      for (int x = -halo; x < n + halo; ++x) {
+        ASSERT_EQ(packed.spin(x, y), bytes.at(x, y))
+            << "halo=" << halo << " (" << x << ", " << y << ")";
+      }
+    }
+    for (int cy = 0; cy < n; ++cy) {
+      for (int cx = 0; cx < n; ++cx) {
+        ASSERT_EQ(packed.count_window(cx, cy, halo),
+                  packed_window_count(bits, cx, cy, halo))
+            << "halo=" << halo << " center (" << cx << ", " << cy << ")";
+      }
+    }
+  }
+}
+
+// ---- Layer 3: backend differential against the frozen golden hashes ----
+
+const EngineStorage kBothBackends[] = {EngineStorage::kByte,
+                                       EngineStorage::kPacked};
+
+TEST(PackedDifferential, GlauberReproducesGoldenOnBothBackends) {
+  for (const EngineStorage storage : kBothBackends) {
+    ModelParams p{.n = 48, .w = 3, .tau = 0.45, .p = 0.5};
+    p.storage = storage;
+    Rng init = Rng::stream(1001, 0);
+    SchellingModel m(p, init);
+    ASSERT_EQ(m.storage(), storage);
+    Rng dyn = Rng::stream(1001, 1);
+    const RunResult r = run_glauber(m, dyn);
+    std::uint64_t h = hash_bytes(m.spins().data(), m.spins().size());
+    h = mix(h, r.flips);
+    h = mix_double(h, r.final_time);
+    EXPECT_EQ(h, golden::kGlauber) << "storage " << static_cast<int>(storage);
+  }
+}
+
+TEST(PackedDifferential, DiscreteReproducesGoldenOnBothBackends) {
+  for (const EngineStorage storage : kBothBackends) {
+    ModelParams p{.n = 40, .w = 2, .tau = 0.55, .p = 0.5};
+    p.storage = storage;
+    Rng init = Rng::stream(1002, 0);
+    SchellingModel m(p, init);
+    Rng dyn = Rng::stream(1002, 1);
+    RunOptions opt;
+    opt.max_flips = 3000;
+    const RunResult r = run_discrete(m, dyn, opt);
+    std::uint64_t h = hash_bytes(m.spins().data(), m.spins().size());
+    h = mix(h, r.flips);
+    h = mix_double(h, r.final_time);
+    EXPECT_EQ(h, golden::kDiscrete) << "storage " << static_cast<int>(storage);
+  }
+}
+
+TEST(PackedDifferential, SynchronousReproducesGoldenOnBothBackends) {
+  for (const EngineStorage storage : kBothBackends) {
+    ModelParams p{.n = 32, .w = 2, .tau = 0.45, .p = 0.5};
+    p.storage = storage;
+    Rng init = Rng::stream(1004, 0);
+    SchellingModel m(p, init);
+    const RunResult r = run_synchronous(m, 64);
+    std::uint64_t h = hash_bytes(m.spins().data(), m.spins().size());
+    h = mix(h, r.flips);
+    h = mix(h, r.rounds);
+    h = mix(h, r.cycle_detected ? 1 : 0);
+    EXPECT_EQ(h, golden::kSynchronous)
+        << "storage " << static_cast<int>(storage);
+  }
+}
+
+TEST(PackedDifferential, ComfortReproducesGoldenOnBothBackends) {
+  for (const EngineStorage storage : kBothBackends) {
+    ComfortParams p{.n = 40, .w = 2, .tau_lo = 0.4, .tau_hi = 0.8, .p = 0.5};
+    p.storage = storage;
+    Rng init = Rng::stream(1005, 0);
+    ComfortModel m(p, init);
+    Rng dyn = Rng::stream(1005, 1);
+    const ComfortRunResult r = run_comfort(m, dyn, 5000);
+    std::uint64_t h = hash_bytes(m.spins().data(), m.spins().size());
+    h = mix(h, r.flips);
+    h = mix_double(h, r.final_time);
+    EXPECT_EQ(h, golden::kComfort) << "storage " << static_cast<int>(storage);
+  }
+}
+
+TEST(PackedDifferential, KawasakiReproducesGoldenOnBothBackends) {
+  for (const EngineStorage storage : kBothBackends) {
+    ModelParams p{.n = 32, .w = 2, .tau = 0.4, .p = 0.5};
+    p.storage = storage;
+    Rng init = Rng::stream(1007, 0);
+    SchellingModel m(p, init);
+    Rng dyn = Rng::stream(1007, 1);
+    KawasakiOptions opt;
+    opt.max_swaps = 1500;
+    const KawasakiResult r = run_kawasaki(m, dyn, opt);
+    std::uint64_t h = hash_bytes(m.spins().data(), m.spins().size());
+    h = mix(h, r.swaps);
+    h = mix(h, r.proposals);
+    EXPECT_EQ(h, golden::kKawasaki) << "storage " << static_cast<int>(storage);
+  }
+}
+
+// The sparse von Neumann stencil takes the generic (non-span) flip path;
+// the packed backend must agree there too, asymmetric thresholds included.
+TEST(PackedDifferential, AsymVonNeumannReproducesGoldenOnBothBackends) {
+  for (const EngineStorage storage : kBothBackends) {
+    ModelParams p{.n = 40, .w = 3, .tau = 0.4, .p = 0.5, .tau_minus = 0.55,
+                  .shape = NeighborhoodShape::kVonNeumann};
+    p.storage = storage;
+    Rng init = Rng::stream(1003, 0);
+    SchellingModel m(p, init);
+    Rng dyn = Rng::stream(1003, 1);
+    RunOptions opt;
+    opt.max_flips = 4000;
+    const RunResult r = run_glauber(m, dyn, opt);
+    std::uint64_t h = hash_bytes(m.spins().data(), m.spins().size());
+    h = mix(h, r.flips);
+    h = mix_double(h, r.final_time);
+    EXPECT_EQ(h, golden::kAsymVonNeumann)
+        << "storage " << static_cast<int>(storage);
+  }
+}
+
+// ---- Layer 4: sharded layouts and packed mutation fuzz ----
+
+TEST(PackedDifferential, ShardedLayoutsMatchByteBackendFlipForFlip) {
+  // n = 36 with a 3x3 checkerboard cuts columns at 12/24 — off 64-bit
+  // alignment, so shards share spin words and the packed engine routes
+  // those flips through the atomic fetch-xor path.
+  ModelParams params{.n = 36, .w = 2, .tau = 0.45, .p = 0.5};
+  for (const bool checkers : {false, true}) {
+    const ShardLayout layout =
+        checkers ? ShardLayout::checkerboard(params.n, params.w, 3, 3)
+                 : ShardLayout::stripes(params.n, params.w, 4);
+    Rng spin_rng(41001);
+    const auto spins = random_spins(params.n, 0.5, spin_rng);
+    ModelParams bp = params;
+    bp.storage = EngineStorage::kByte;
+    SchellingModel byte_model(bp, spins, layout);
+    ModelParams pp = params;
+    pp.storage = EngineStorage::kPacked;
+    SchellingModel packed_model(pp, spins, layout);
+    Rng rng(41002 + checkers);
+    for (int step = 0; step < 6000; ++step) {
+      const auto id = static_cast<std::uint32_t>(
+          rng.uniform_below(byte_model.agent_count()));
+      byte_model.flip(id);
+      packed_model.flip(id);
+    }
+    ASSERT_TRUE(packed_model.check_invariants());
+    EXPECT_EQ(packed_model.spins(), byte_model.spins());
+    EXPECT_EQ(packed_model.count_unhappy(), byte_model.count_unhappy());
+    for (int s = 0; s < packed_model.shard_count(); ++s) {
+      EXPECT_EQ(packed_model.unhappy_set(s).size(),
+                byte_model.unhappy_set(s).size())
+          << "shard " << s;
+    }
+  }
+}
+
+TEST(PackedFuzz, ArbitraryFlipsKeepPackedInvariants) {
+  // Arbitrary-site mutation fuzz pinned to the packed backend (the
+  // invariant-fuzz suite runs whatever the build default resolves to;
+  // this one must exercise the bit path even under SEG_PACKED_DEFAULT=OFF
+  // builds). w = 10 on n = 24 wraps every window past the seam.
+  struct Config {
+    ModelParams params;
+    std::uint64_t seed;
+  };
+  Config configs[] = {
+      {{.n = 32, .w = 2, .tau = 0.45, .p = 0.5}, 42001},
+      {{.n = 24, .w = 10, .tau = 0.55, .p = 0.4}, 42002},
+  };
+  for (Config& config : configs) {
+    config.params.storage = EngineStorage::kPacked;
+    Rng rng(config.seed);
+    SchellingModel model(config.params, rng);
+    ASSERT_TRUE(model.check_invariants());
+    for (int step = 0; step < 6000; ++step) {
+      model.flip(static_cast<std::uint32_t>(
+          rng.uniform_below(model.agent_count())));
+      if (rng.uniform_below(400) == 0) {
+        ASSERT_TRUE(model.check_invariants()) << "step " << step;
+      }
+    }
+    ASSERT_TRUE(model.check_invariants());
+    // The packed bits and the byte snapshot must be two views of one
+    // field.
+    EXPECT_EQ(model.packed_spins().unpack(), model.spins());
+  }
+}
+
+}  // namespace
+}  // namespace seg
