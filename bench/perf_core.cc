@@ -4,10 +4,13 @@
 // metrics, and prefix-sum construction.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "analysis/clusters.h"
 #include "analysis/correlation.h"
 #include "analysis/regions.h"
 #include "analysis/streaming.h"
+#include "campaign/campaign.h"
 #include "core/dynamics.h"
 #include "core/model.h"
 #include "core/parallel_dynamics.h"
@@ -16,6 +19,7 @@
 #include "grid/prefix_sum.h"
 #include "lattice/sharded.h"
 #include "obs/telemetry.h"
+#include "rng/splitmix64.h"
 
 namespace {
 
@@ -240,6 +244,70 @@ void BM_StreamingObservables(benchmark::State& state) {
 BENCHMARK(BM_StreamingObservables)
     ->Args({1024, 0})
     ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Fixed vs adaptive campaign scheduling on a synthetic variance-skewed
+// grid: 16 points whose metric standard deviation ramps 0.02 -> 0.25
+// (replicas are a single scaled SplitMix64 draw, so the run measures the
+// engine, not the model), per-point cap 3072 replicas. Arg 0 runs the
+// fixed-replica engine (every point burns the full cap); arg 1 runs the
+// empirical-Bernstein stopper at delta = 0.05, which resolves the
+// low-variance points an order of magnitude earlier. The "replicas"
+// counter records how many replicas each mode actually scheduled;
+// scripts/bench.sh turns the pair into context.adaptive_savings
+// (acceptance bar: >= 30% of the cap saved at equal certified CI width —
+// tests/test_campaign_adaptive.cc pins the same grid).
+void BM_AdaptiveCampaign(benchmark::State& state) {
+  const bool adaptive = state.range(0) != 0;
+  constexpr std::size_t kPoints = 16;
+  std::vector<double> sigmas;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    sigmas.push_back(0.02 + (0.25 - 0.02) * static_cast<double>(i) /
+                                static_cast<double>(kPoints - 1));
+  }
+  seg::ScenarioSpec spec;
+  spec.name = "bench_adaptive";
+  spec.n = {8};
+  spec.w = {1};
+  spec.tau.clear();
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    spec.tau.push_back(0.30 + 0.01 * static_cast<double>(i));
+  }
+  spec.replicas = 3072;
+  spec.metrics = {"flips"};
+  if (adaptive) {
+    spec.stop.rule = seg::StopRule::kBernstein;
+    spec.stop.delta = 0.05;
+    spec.stop.alpha = 0.05;
+    spec.stop.min_replicas = 16;
+  }
+  const auto points = seg::expand_grid(spec);
+  const seg::ReplicaFn replica = [&sigmas](const seg::ScenarioPoint& point,
+                                           std::size_t /*replica*/,
+                                           std::uint64_t replica_seed) {
+    seg::SplitMix64 rng(replica_seed);
+    const double u = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+    const double sigma = sigmas[point.index % sigmas.size()];
+    return std::vector<double>{0.5 + sigma * std::sqrt(3.0) * (2.0 * u - 1.0)};
+  };
+  seg::CampaignOptions options;
+  options.threads = 4;
+  std::size_t replicas_done = 0;
+  for (auto _ : state) {
+    const seg::CampaignResult result =
+        run_campaign(spec, points, {"value"}, replica, 2024, options);
+    replicas_done = result.replicas_done;
+    benchmark::DoNotOptimize(replicas_done);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * replicas_done));
+  state.counters["replicas"] = static_cast<double>(replicas_done);
+  state.counters["adaptive"] = adaptive ? 1 : 0;
+}
+BENCHMARK(BM_AdaptiveCampaign)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_BoxSum(benchmark::State& state) {

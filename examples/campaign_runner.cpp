@@ -28,9 +28,22 @@
 //   --checkpoint FILE  checkpoint path (enables periodic checkpointing)
 //   --checkpoint-every K   replicas between checkpoint writes (default 64)
 //   --resume           load the checkpoint before running
-//   --stop-after K     stop scheduling after K replicas (for smoke tests)
+//   --max-new-replicas K   stop scheduling after K new replicas (budget /
+//                      smoke tests; --stop-after is an alias). Points left
+//                      unresolved stay open and resumable — never stopped.
 //   --quiet            skip the console table
 //   --list             list built-in scenarios and registry metrics
+//
+// Adaptive campaigns (README "Adaptive campaigns"; the spec keys
+// stop_rule / stop_delta / stop_alpha / min_replicas / max_replicas /
+// stop_metric / stop_range / stop_threshold can also live in the spec
+// file — the flags override them):
+//   --stop-rule R      none | hoeffding | bernstein | pass_rate
+//   --stop-delta D     target confidence-sequence half-width
+//   --stop-alpha A     anytime miscoverage budget (default 0.05)
+//   --min-replicas K   replica floor before a rule may fire
+//   --max-replicas K   per-point replica cap (0 = the replicas value)
+//   --stop-metric M    watched metric (default: first campaign metric)
 //
 // Telemetry (see README "Telemetry & tracing"; any of these flags turns
 // the runtime telemetry registry on, and the manifest then records a
@@ -95,18 +108,23 @@ int main(int argc, char** argv) {
   const std::string spec_path = args.get_string("spec", "");
   const std::string scenario = args.get_string("scenario", "phase_diagram");
 
-  std::size_t threads = 1, replicas_override = 0, stop_after = 0,
-              checkpoint_every = 64, n_override = 0, w_override = 0,
-              shards_override = 0;
+  std::size_t threads = 1, replicas_override = 0, max_new_replicas = 0,
+              stop_after_alias = 0, checkpoint_every = 64, n_override = 0,
+              w_override = 0, shards_override = 0, min_replicas_override = 0,
+              max_replicas_override = 0;
   if (!get_size(args, "threads", 1, &threads) ||
       !get_size(args, "replicas", 0, &replicas_override) ||
-      !get_size(args, "stop-after", 0, &stop_after) ||
+      !get_size(args, "max-new-replicas", 0, &max_new_replicas) ||
+      !get_size(args, "stop-after", 0, &stop_after_alias) ||
       !get_size(args, "checkpoint-every", 64, &checkpoint_every) ||
       !get_size(args, "n", 0, &n_override) ||
       !get_size(args, "w", 0, &w_override) ||
-      !get_size(args, "shards", 0, &shards_override)) {
+      !get_size(args, "shards", 0, &shards_override) ||
+      !get_size(args, "min-replicas", 0, &min_replicas_override) ||
+      !get_size(args, "max-replicas", 0, &max_replicas_override)) {
     return 1;
   }
+  if (max_new_replicas == 0) max_new_replicas = stop_after_alias;
 
   seg::BuiltinCampaign campaign;
   if (!spec_path.empty()) {
@@ -141,12 +159,55 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Stopping-rule overrides apply after the campaign is built: they only
+  // steer the engine's replica scheduling, never the replica function.
+  const std::string stop_rule = args.get_string("stop-rule", "");
+  if (!stop_rule.empty() &&
+      !seg::parse_stop_rule(stop_rule, &campaign.spec.stop.rule)) {
+    std::fprintf(stderr, "unknown --stop-rule '%s' (none | hoeffding | "
+                         "bernstein | pass_rate)\n", stop_rule.c_str());
+    return 1;
+  }
+  campaign.spec.stop.delta =
+      args.get_double("stop-delta", campaign.spec.stop.delta);
+  campaign.spec.stop.alpha =
+      args.get_double("stop-alpha", campaign.spec.stop.alpha);
+  if (min_replicas_override > 0) {
+    campaign.spec.stop.min_replicas = min_replicas_override;
+  }
+  if (max_replicas_override > 0) {
+    campaign.spec.stop.max_replicas = max_replicas_override;
+  }
+  const std::string stop_metric = args.get_string("stop-metric", "");
+  if (!stop_metric.empty()) campaign.spec.stop.metric = stop_metric;
+  const bool adaptive = campaign.spec.stop.rule != seg::StopRule::kNone;
+  if (adaptive) {
+    // Validate against the campaign's actual metric columns — built-in
+    // campaigns with custom replicas may not use spec.metrics.
+    const seg::StopConfig& stop = campaign.spec.stop;
+    if (!stop.metric.empty() &&
+        seg::metric_index(campaign.metric_names, stop.metric) >=
+            campaign.metric_names.size()) {
+      std::fprintf(stderr, "--stop-metric '%s' is not a campaign metric\n",
+                   stop.metric.c_str());
+      return 1;
+    }
+    if (!(stop.delta > 0.0) || !(stop.alpha > 0.0 && stop.alpha < 1.0) ||
+        stop.min_replicas == 0 ||
+        campaign.spec.layout_replicas() < stop.min_replicas) {
+      std::fprintf(stderr, "bad stopping config: need stop_delta > 0, "
+                           "stop_alpha in (0,1), and min_replicas <= the "
+                           "replica cap\n");
+      return 1;
+    }
+  }
+
   seg::CampaignOptions options;
   options.threads = threads;
   options.checkpoint_path = args.get_string("checkpoint", "");
   options.checkpoint_every = checkpoint_every;
   options.resume = args.get_bool("resume", false);
-  options.stop_after = stop_after;
+  options.max_new_replicas = max_new_replicas;
 
   const std::string trace_path = args.get_string("trace", "");
   const bool progress_line = args.get_bool("progress", false);
@@ -157,14 +218,29 @@ int main(int argc, char** argv) {
                          !progress_file.empty();
   if (telemetry) seg::obs::set_enabled(true);
 
-  const std::size_t total = campaign.points.size() * campaign.spec.replicas;
-  std::printf("campaign '%s': %zu points x %zu replicas = %zu runs, "
-              "seed %llu, %zu thread(s), %zu shard(s)/replica\n",
-              campaign.spec.name.c_str(), campaign.points.size(),
-              campaign.spec.replicas, total,
-              static_cast<unsigned long long>(seed),
-              options.threads == 0 ? 0 : options.threads,
-              campaign.spec.shards);
+  const std::size_t total =
+      campaign.points.size() * campaign.spec.layout_replicas();
+  if (adaptive) {
+    std::printf("campaign '%s': %zu points x <= %zu replicas (rule %s, "
+                "delta %g, alpha %g, min %zu), seed %llu, %zu thread(s), "
+                "%zu shard(s)/replica\n",
+                campaign.spec.name.c_str(), campaign.points.size(),
+                campaign.spec.layout_replicas(),
+                seg::stop_rule_name(campaign.spec.stop.rule),
+                campaign.spec.stop.delta, campaign.spec.stop.alpha,
+                campaign.spec.stop.min_replicas,
+                static_cast<unsigned long long>(seed),
+                options.threads == 0 ? 0 : options.threads,
+                campaign.spec.shards);
+  } else {
+    std::printf("campaign '%s': %zu points x %zu replicas = %zu runs, "
+                "seed %llu, %zu thread(s), %zu shard(s)/replica\n",
+                campaign.spec.name.c_str(), campaign.points.size(),
+                campaign.spec.replicas, total,
+                static_cast<unsigned long long>(seed),
+                options.threads == 0 ? 0 : options.threads,
+                campaign.spec.shards);
+  }
 
   seg::obs::TraceSession trace_session;
   if (!trace_path.empty()) trace_session.start();
@@ -175,6 +251,7 @@ int main(int argc, char** argv) {
     popt.interval_s = progress_every;
     popt.jsonl_path = progress_file;
     popt.stderr_line = progress_line;
+    popt.adaptive = adaptive;
     progress = std::make_unique<seg::obs::ProgressReporter>(total, popt);
     options.progress = progress->callback();
   }
@@ -223,6 +300,23 @@ int main(int argc, char** argv) {
   }
   std::printf("aggregates -> %s, manifest -> %s\n", out.c_str(),
               manifest_path.c_str());
+  if (adaptive) {
+    std::size_t stopped = 0, capped = 0, open = 0, used = 0;
+    for (const seg::PointResult& pr : result.points) {
+      used += pr.replicas_used;
+      if (pr.state == seg::PointState::kStopped) ++stopped;
+      else if (pr.state == seg::PointState::kCapped) ++capped;
+      else if (pr.state == seg::PointState::kOpen) ++open;
+    }
+    const double saved =
+        total > 0 ? 100.0 * (1.0 - static_cast<double>(result.replicas_done) /
+                                       static_cast<double>(total))
+                  : 0.0;
+    std::printf("adaptive: %zu stopped, %zu capped, %zu open; %zu replicas "
+                "folded, %zu run (%.1f%% of the %zu-replica cap saved)\n",
+                stopped, capped, open, used, result.replicas_done, saved,
+                total);
+  }
   if (result.checkpoint_write_failed) {
     std::fprintf(stderr, "warning: checkpoint writes to %s failed; a kill "
                          "would lose this run's progress\n",

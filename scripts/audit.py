@@ -25,6 +25,9 @@ Checks (see --list):
     that README.md and src/obs/telemetry.h promise.
   * README.md's bit-packed storage speedup claims equal the
     packed-vs-prior-byte speedups recorded in BENCH_core.json.
+  * README.md's adaptive-campaign replica-savings claim equals the
+    context.adaptive_savings figure bench.sh recorded, which must meet
+    its own >= 0.30 target.
   * The histogram bucket count in src/obs/telemetry.h matches the
     README's description.
 
@@ -261,6 +264,58 @@ def check_packed_speedup(repo, bench):
     return problems
 
 
+def check_adaptive_savings(repo, bench):
+    """README adaptive replica-savings claim == what bench.sh recorded.
+
+    BENCH_core.json's adaptive_savings context carries the replica counts
+    the fixed and adaptive BM_AdaptiveCampaign modes scheduled plus the
+    derived savings fraction and its >= 0.30 acceptance floor. The README
+    quotes the savings percentage on the line naming the benchmark; any
+    drift (a re-run, an optimistic edit) is a contradiction.
+    """
+    problems = []
+    readme = read_text(repo, "README.md")
+    ctx = bench.get("context", {}).get("adaptive_savings")
+    if ctx is None:
+        return ["BENCH_core.json has no adaptive_savings context "
+                "(re-run scripts/bench.sh)"]
+    fixed = ctx.get("fixed_replicas")
+    adaptive = ctx.get("adaptive_replicas")
+    savings = ctx.get("savings")
+    if not fixed or adaptive is None or savings is None:
+        return ["adaptive_savings context is missing fixed_replicas / "
+                "adaptive_replicas / savings"]
+    recomputed = round(1.0 - adaptive / fixed, 3)
+    if abs(recomputed - savings) > 0.0011:
+        problems.append(
+            f"adaptive_savings records savings={savings} but "
+            f"1 - adaptive/fixed = {recomputed}")
+    m = re.search(r">=\s*(0\.\d+)", ctx.get("target", ""))
+    if not m:
+        problems.append(
+            "adaptive_savings has no parseable '>= 0.NN' target")
+    elif savings < float(m.group(1)):
+        problems.append(
+            f"recorded adaptive savings {savings} is below the declared "
+            f"target {ctx['target']!r}")
+    line = next((ln for ln in readme.splitlines()
+                 if "BM_AdaptiveCampaign" in ln), None)
+    if line is None:
+        return problems + [
+            "README.md never mentions BM_AdaptiveCampaign, whose replica "
+            "savings BENCH_core.json records"]
+    pct = re.search(r"(\d+(?:\.\d+)?)\s*%", line)
+    if not pct:
+        problems.append(
+            "README.md line naming BM_AdaptiveCampaign quotes no 'N%' "
+            f"savings to check against the recorded {savings}")
+    elif abs(float(pct.group(1)) - 100.0 * savings) > 0.6:
+        problems.append(
+            f"README.md claims {pct.group(1)}% replica savings but "
+            f"BENCH_core.json records {100.0 * savings:.1f}%")
+    return problems
+
+
 def check_histogram_buckets(repo, bench):
     header = read_text(repo, os.path.join("src", "obs", "telemetry.h"))
     readme = read_text(repo, "README.md")
@@ -284,6 +339,7 @@ CHECKS = [
     ("single-core-caveats", check_single_core_caveats),
     ("telemetry-budget", check_telemetry_budget),
     ("packed-speedup", check_packed_speedup),
+    ("adaptive-savings", check_adaptive_savings),
     ("histogram-buckets", check_histogram_buckets),
 ]
 

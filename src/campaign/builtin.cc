@@ -125,6 +125,11 @@ bool make_builtin_campaign(const std::string& name,
   } else {
     return false;
   }
+  // Stopping rules ride on top of any built-in: they only change how many
+  // replicas the engine schedules per point, never what a replica computes
+  // (the spec copy captured by the replica fn predates this assignment,
+  // which is fine — the stop config is engine-only).
+  if (overrides.stop.rule != StopRule::kNone) out->spec.stop = overrides.stop;
   return true;
 }
 

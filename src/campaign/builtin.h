@@ -41,6 +41,10 @@ struct BuiltinOverrides {
   // Lattice shards per Glauber replica (sharded sweep engine); affects
   // the Schelling-dynamics campaigns only.
   std::size_t shards = 0;
+  // Sequential stopping config (campaign/stopping.h); rule kNone keeps
+  // the campaign fixed-replica. Applied after the builder, so it steers
+  // the engine's replica scheduling without touching the replica fn.
+  StopConfig stop;
 };
 
 std::vector<std::string> builtin_campaign_names();

@@ -49,6 +49,16 @@ bool save_checkpoint(const std::string& path, const CheckpointData& data) {
     }
     ok = ok && std::fprintf(f, "\n") > 0;
   }
+  for (std::size_t i = 0; ok && i < data.trace.size(); ++i) {
+    const StopDecision& d = data.trace[i];
+    ok = std::fprintf(f, "s %" PRIu32 " %" PRIu32 " %s %016" PRIx64 "\n",
+                      d.point, d.replicas, stop_rule_name(d.rule),
+                      double_bits(d.bound)) > 0;
+  }
+  if (!data.trace.empty()) {
+    ok = ok && std::fprintf(f, "trace %016" PRIx64 "\n",
+                            decision_trace_hash(data.trace)) > 0;
+  }
   ok = ok && std::fprintf(f, "end %zu\n", data.done_count()) > 0;
   ok = std::fclose(f) == 0 && ok;
   if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -85,6 +95,8 @@ bool load_checkpoint(const std::string& path, CheckpointData* out) {
   }
   bool saw_trailer = false;
   std::size_t trailer_count = 0;
+  bool saw_trace_hash = false;
+  std::uint64_t trace_hash = 0;
   while (ok) {
     char tag[8] = {0};
     if (std::fscanf(f, "%7s", tag) != 1) break;  // EOF
@@ -102,6 +114,20 @@ bool load_checkpoint(const std::string& path, CheckpointData* out) {
         data.done[g] = 1;
         data.values[g] = std::move(row);
       }
+    } else if (std::strcmp(tag, "s") == 0) {
+      StopDecision d;
+      char rule_name[16] = {0};
+      std::uint64_t bits = 0;
+      ok = std::fscanf(f, " %" SCNu32 " %" SCNu32 " %15s %" SCNx64, &d.point,
+                       &d.replicas, rule_name, &bits) == 4 &&
+           parse_stop_rule(rule_name, &d.rule);
+      if (ok) {
+        d.bound = bits_double(bits);
+        data.trace.push_back(d);
+      }
+    } else if (std::strcmp(tag, "trace") == 0) {
+      ok = std::fscanf(f, " %" SCNx64, &trace_hash) == 1;
+      saw_trace_hash = ok;
     } else if (std::strcmp(tag, "end") == 0) {
       ok = std::fscanf(f, "%zu", &trailer_count) == 1;
       saw_trailer = ok;
@@ -112,6 +138,13 @@ bool load_checkpoint(const std::string& path, CheckpointData* out) {
   }
   std::fclose(f);
   if (!ok || !saw_trailer || trailer_count != data.done_count()) return false;
+  // A decision trace must carry its own hash and the hash must fold back
+  // from the entries — a torn or edited trace is a corrupt checkpoint.
+  if (!data.trace.empty() || saw_trace_hash) {
+    if (!saw_trace_hash || trace_hash != decision_trace_hash(data.trace)) {
+      return false;
+    }
+  }
   *out = std::move(data);
   return true;
 }

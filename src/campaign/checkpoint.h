@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "campaign/stopping.h"
+
 namespace seg {
 
 struct CheckpointData {
@@ -27,6 +29,13 @@ struct CheckpointData {
   // done[g] != 0 and then holds metric_count entries.
   std::vector<std::uint8_t> done;
   std::vector<std::vector<double>> values;
+
+  // Stop decisions recorded so far (adaptive campaigns only), ordered by
+  // point index. Persisted as `s` lines plus a `trace <fnv-hash>` line
+  // folded over the entries; a load whose stored hash disagrees with its
+  // own `s` lines is rejected as corrupt. Empty for rule-none campaigns —
+  // their files stay byte-identical to the pre-adaptive format.
+  std::vector<StopDecision> trace;
 
   std::size_t done_count() const;
 };

@@ -197,6 +197,14 @@ std::vector<std::string> known_metrics() {
   return names;
 }
 
+std::size_t metric_index(const std::vector<std::string>& names,
+                         const std::string& name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  return names.size();
+}
+
 std::vector<std::string> expand_metric_names(
     const std::vector<std::string>& metrics) {
   std::vector<std::string> out;

@@ -67,6 +67,11 @@ bool lookup_metric(const std::string& name, MetricFn* fn);
 // Registry names, in registry order.
 std::vector<std::string> known_metrics();
 
+// Position of `name` in an expanded metric-name list; names.size() when
+// absent. The stopper and the sinks use it to locate watched columns.
+std::size_t metric_index(const std::vector<std::string>& names,
+                         const std::string& name);
+
 // Replaces the "streaming" pseudo-metric with the streaming observable
 // group, in group order; every other name passes through unchanged. The
 // campaign engine and sinks must be given the expanded list — the

@@ -140,6 +140,30 @@ bool ScenarioSpec::valid(std::string* error) const {
   for (const std::string& m : expand_metric_names(metrics)) {
     if (!lookup_metric(m, nullptr)) return fail("unknown metric: " + m);
   }
+  if (stop.rule != StopRule::kNone) {
+    if (!(stop.delta > 0.0)) return fail("stop_delta must be > 0");
+    if (!(stop.alpha > 0.0 && stop.alpha < 1.0)) {
+      return fail("stop_alpha must be in (0, 1)");
+    }
+    if (stop.min_replicas == 0) return fail("min_replicas must be >= 1");
+    if (layout_replicas() < stop.min_replicas) {
+      return fail("max_replicas (or replicas) must be >= min_replicas");
+    }
+    if (!(stop.range_hi > stop.range_lo)) {
+      return fail("stop_range must have hi > lo");
+    }
+    if (!stop.metric.empty()) {
+      const std::vector<std::string> expanded = expand_metric_names(metrics);
+      bool found = false;
+      for (const std::string& m : expanded) {
+        if (m == stop.metric) { found = true; break; }
+      }
+      if (!found) {
+        return fail("stop_metric '" + stop.metric +
+                    "' is not among the campaign metrics");
+      }
+    }
+  }
   for (const ScenarioPoint& pt : expand_grid(*this)) {
     if (!pt.params.valid()) {
       char buf[96];
@@ -181,6 +205,24 @@ std::string ScenarioSpec::to_text() const {
   out << "region_samples = " << region_samples << '\n';
   out << "almost_eps = " << format_double(almost_eps) << '\n';
   out << "metrics = " << join_strings(metrics) << '\n';
+  // The stop_* keys follow the shards pattern: they enter the canonical
+  // text — and so the checkpoint identity — only when a rule is active,
+  // keeping every pre-adaptive spec's hash (and checkpoints) intact.
+  if (stop.rule != StopRule::kNone) {
+    out << "stop_rule = " << stop_rule_name(stop.rule) << '\n';
+    out << "stop_delta = " << format_double(stop.delta) << '\n';
+    out << "stop_alpha = " << format_double(stop.alpha) << '\n';
+    out << "min_replicas = " << stop.min_replicas << '\n';
+    if (stop.max_replicas != 0) {
+      out << "max_replicas = " << stop.max_replicas << '\n';
+    }
+    if (!stop.metric.empty()) out << "stop_metric = " << stop.metric << '\n';
+    out << "stop_range = " << format_double(stop.range_lo) << ','
+        << format_double(stop.range_hi) << '\n';
+    if (stop.rule == StopRule::kPassRate) {
+      out << "stop_threshold = " << format_double(stop.threshold) << '\n';
+    }
+  }
   return out.str();
 }
 
@@ -259,6 +301,38 @@ bool ScenarioSpec::parse(const std::string& text, ScenarioSpec* out,
     } else if (key == "metrics") {
       spec.metrics = split_list(value);
       ok = !spec.metrics.empty();
+    } else if (key == "stop_rule") {
+      ok = parse_stop_rule(value, &spec.stop.rule);
+    } else if (key == "stop_delta") {
+      std::vector<double> v;
+      ok = parse_double_list(value, &v) && v.size() == 1;
+      if (ok) spec.stop.delta = v[0];
+    } else if (key == "stop_alpha") {
+      std::vector<double> v;
+      ok = parse_double_list(value, &v) && v.size() == 1;
+      if (ok) spec.stop.alpha = v[0];
+    } else if (key == "min_replicas") {
+      std::uint64_t v = 0;
+      ok = parse_u64(value, &v) && v > 0;
+      spec.stop.min_replicas = static_cast<std::size_t>(v);
+    } else if (key == "max_replicas") {
+      std::uint64_t v = 0;
+      ok = parse_u64(value, &v);
+      spec.stop.max_replicas = static_cast<std::size_t>(v);
+    } else if (key == "stop_metric") {
+      spec.stop.metric = value;
+      ok = !value.empty();
+    } else if (key == "stop_range") {
+      std::vector<double> v;
+      ok = parse_double_list(value, &v) && v.size() == 2;
+      if (ok) {
+        spec.stop.range_lo = v[0];
+        spec.stop.range_hi = v[1];
+      }
+    } else if (key == "stop_threshold") {
+      std::vector<double> v;
+      ok = parse_double_list(value, &v) && v.size() == 1;
+      if (ok) spec.stop.threshold = v[0];
     } else {
       return fail("line " + std::to_string(line_no) + ": unknown key '" +
                   key + "'");

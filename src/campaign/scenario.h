@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/stopping.h"
 #include "core/params.h"
 
 namespace seg {
@@ -43,8 +44,20 @@ struct ScenarioSpec {
   std::vector<NeighborhoodShape> shape = {NeighborhoodShape::kMoore};
   std::vector<DynamicsKind> dynamics = {DynamicsKind::kGlauber};
 
-  // Replicas per scenario point.
+  // Replicas per scenario point. With a stopping rule this is the
+  // default per-point cap (see `stop`); without one it is the exact
+  // count every point runs.
   std::size_t replicas = 3;
+
+  // Sequential stopping (campaign/stopping.h). stop.rule == kNone — the
+  // default — keeps the fixed-replica engine, and none of the stop_*
+  // keys enter the canonical text then, so pre-adaptive specs keep their
+  // hash and their checkpoints stay resumable. With a rule set, every
+  // point runs at least stop.min_replicas and at most layout_replicas()
+  // replicas, stopping the moment the rule's anytime-valid bound reaches
+  // the target half-width; spec keys: stop_rule, stop_delta, stop_alpha,
+  // min_replicas, max_replicas, stop_metric, stop_range, stop_threshold.
+  StopConfig stop;
 
   // Lattice shards per replica (stripe decomposition,
   // core/parallel_dynamics.h). 1 = the serial engines, bitwise the
@@ -77,6 +90,17 @@ struct ScenarioSpec {
 
   std::size_t grid_size() const;
   std::size_t total_replicas() const { return grid_size() * replicas; }
+
+  // Per-point replica count of the campaign's global index layout: the
+  // fixed count without a stopping rule, the per-point cap with one.
+  // Replica seeds derive from point * layout_replicas() + r, so this is
+  // part of the checkpoint identity.
+  std::size_t layout_replicas() const {
+    if (stop.rule == StopRule::kNone || stop.max_replicas == 0) {
+      return replicas;
+    }
+    return stop.max_replicas;
+  }
 
   // Every axis non-empty, every point's ModelParams valid, every metric
   // known to the registry.

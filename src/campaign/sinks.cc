@@ -9,10 +9,18 @@
 namespace seg {
 namespace {
 
-std::vector<std::string> csv_header(const CampaignResult& result) {
+// The stop_state / stop_bound columns (and every other adaptive
+// rendering below) appear only when a stopping rule is active, so
+// rule-none documents stay byte-identical to the fixed-replica engine's.
+std::vector<std::string> csv_header(const ScenarioSpec& spec,
+                                    const CampaignResult& result) {
   std::vector<std::string> header = {"point",    "n",     "w",
                                      "tau",      "tau_minus", "p",
                                      "shape",    "dynamics",  "replicas"};
+  if (spec.stop.rule != StopRule::kNone) {
+    header.push_back("stop_state");
+    header.push_back("stop_bound");
+  }
   for (const std::string& m : result.metric_names) {
     header.push_back(m + "_mean");
     header.push_back(m + "_sem");
@@ -24,9 +32,10 @@ std::vector<std::string> csv_header(const CampaignResult& result) {
 
 }  // namespace
 
-std::string CsvSink::render(const ScenarioSpec& /*spec*/,
+std::string CsvSink::render(const ScenarioSpec& spec,
                             const CampaignResult& result) {
-  CsvWriter csv(csv_header(result));
+  const bool adaptive = spec.stop.rule != StopRule::kNone;
+  CsvWriter csv(csv_header(spec, result));
   for (const PointResult& pr : result.points) {
     const ModelParams& params = pr.point.params;
     csv.new_row()
@@ -40,6 +49,10 @@ std::string CsvSink::render(const ScenarioSpec& /*spec*/,
         .add(std::string(dynamics_name(pr.point.dynamics)));
     const std::size_t count = pr.stats.empty() ? 0 : pr.stats[0].count();
     csv.add(static_cast<std::int64_t>(count));
+    if (adaptive) {
+      csv.add(std::string(point_state_name(pr.state)));
+      csv.add(pr.stop_bound);
+    }
     for (const RunningStats& s : pr.stats) {
       csv.add(s.mean()).add(s.sem());
       csv.add(s.count() > 0 ? s.min() : 0.0);
@@ -80,6 +93,23 @@ bool ManifestSink::write(const ScenarioSpec& spec,
                           result.replicas_resumed) > 0;
   ok = ok && std::fprintf(f, "complete = %s\n",
                           result.complete ? "true" : "false") > 0;
+  if (spec.stop.rule != StopRule::kNone) {
+    std::size_t stopped = 0, capped = 0, open = 0, used = 0;
+    for (const PointResult& pr : result.points) {
+      used += pr.replicas_used;
+      if (pr.state == PointState::kStopped) ++stopped;
+      else if (pr.state == PointState::kCapped) ++capped;
+      else if (pr.state == PointState::kOpen) ++open;
+    }
+    ok = ok && std::fprintf(f, "stop_rule = %s\n",
+                            stop_rule_name(spec.stop.rule)) > 0;
+    ok = ok && std::fprintf(f, "points_stopped = %zu\n", stopped) > 0;
+    ok = ok && std::fprintf(f, "points_capped = %zu\n", capped) > 0;
+    ok = ok && std::fprintf(f, "points_open = %zu\n", open) > 0;
+    ok = ok && std::fprintf(f, "replicas_folded = %zu\n", used) > 0;
+    ok = ok && std::fprintf(f, "decision_trace = %016" PRIx64 "\n",
+                            decision_trace_hash(result.decision_trace)) > 0;
+  }
   for (const auto& [key, value] : info_) {
     ok = ok && std::fprintf(f, "%s = %s\n", key.c_str(), value.c_str()) > 0;
   }
@@ -95,11 +125,23 @@ bool ManifestSink::write(const ScenarioSpec& spec,
 
 bool ConsoleSink::write(const ScenarioSpec& spec,
                         const CampaignResult& result) {
-  std::printf("campaign '%s': %zu points x %zu replicas, %zu done%s\n",
-              spec.name.c_str(), result.points.size(), spec.replicas,
-              result.replicas_done,
-              result.complete ? "" : " (INCOMPLETE)");
+  const bool adaptive = spec.stop.rule != StopRule::kNone;
+  if (adaptive) {
+    std::printf("campaign '%s': %zu points, adaptive (%s), %zu done%s\n",
+                spec.name.c_str(), result.points.size(),
+                stop_rule_name(spec.stop.rule), result.replicas_done,
+                result.complete ? "" : " (INCOMPLETE)");
+  } else {
+    std::printf("campaign '%s': %zu points x %zu replicas, %zu done%s\n",
+                spec.name.c_str(), result.points.size(), spec.replicas,
+                result.replicas_done,
+                result.complete ? "" : " (INCOMPLETE)");
+  }
   std::vector<std::string> header = {"n", "w", "tau", "p", "dyn"};
+  if (adaptive) {
+    header.push_back("reps");
+    header.push_back("state");
+  }
   for (const std::string& m : result.metric_names) {
     header.push_back(m);
     header.push_back("+/-95%");
@@ -113,6 +155,10 @@ bool ConsoleSink::write(const ScenarioSpec& spec,
         .add(params.tau, 3)
         .add(params.p, 3)
         .add(std::string(dynamics_name(pr.point.dynamics)));
+    if (adaptive) {
+      table.add(static_cast<std::int64_t>(pr.replicas_used))
+          .add(std::string(point_state_name(pr.state)));
+    }
     for (const RunningStats& s : pr.stats) {
       table.add(s.mean(), 4).add(s.ci95_half_width(), 4);
     }

@@ -104,6 +104,10 @@ struct ProgressReporter::Impl {
     const std::int64_t live_clusters = reg.gauge_value("streaming.clusters");
     const std::int64_t live_interface =
         reg.gauge_value("streaming.interface");
+    const std::int64_t open_points = reg.gauge_value("campaign.open_points");
+    const double max_ci = static_cast<double>(reg.gauge_value(
+                              "campaign.max_ci_half_width_ppm")) /
+                          1e6;
 
     prev_t = t;
     prev_done = done_now;
@@ -127,12 +131,20 @@ struct ProgressReporter::Impl {
       std::snprintf(buf, sizeof(buf),
                     "],\"conflict_queue_depth\":%lld,"
                     "\"streaming\":{\"magnetization\":%lld,"
-                    "\"clusters\":%lld,\"interface\":%lld}}\n",
+                    "\"clusters\":%lld,\"interface\":%lld}",
                     static_cast<long long>(conflict_depth),
                     static_cast<long long>(live_mag),
                     static_cast<long long>(live_clusters),
                     static_cast<long long>(live_interface));
       line += buf;
+      if (options.adaptive) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\"adaptive\":{\"open_points\":%lld,"
+                      "\"max_ci_half_width\":%.6g}",
+                      static_cast<long long>(open_points), max_ci);
+        line += buf;
+      }
+      line += "}\n";
       std::fwrite(line.data(), 1, line.size(), jsonl);
       std::fflush(jsonl);
       records.fetch_add(1, std::memory_order_relaxed);
@@ -149,15 +161,20 @@ struct ProgressReporter::Impl {
       } else {
         std::snprintf(eta_buf, sizeof(eta_buf), "?");
       }
+      char open_buf[40] = "";
+      if (options.adaptive) {
+        std::snprintf(open_buf, sizeof(open_buf), " | open %lld",
+                      static_cast<long long>(open_points));
+      }
       char line[256];
       std::snprintf(
           line, sizeof(line),
           "campaign %zu/%zu (%.1f%%) | %s rep/s | %s flips/s | "
-          "util %.0f%% (%zu) | ETA %s",
+          "util %.0f%% (%zu) | ETA %s%s",
           done_now, total_now, pct, format_rate(replicas_per_s).c_str(),
           format_rate(flips_per_s).c_str(),
           workers.empty() ? 0.0 : 100.0 * util_sum / workers.size(),
-          workers.size(), eta_buf);
+          workers.size(), eta_buf, open_buf);
       if (tty) {
         // In-place line; pad to wipe a longer previous render.
         std::fprintf(stderr, "\r%-100s", line);

@@ -18,7 +18,14 @@
 //    "replicas_per_s": R, "flips_per_s": F, "eta_s": E,
 //    "workers": [u0, u1, ...],            // busy fraction per worker
 //    "conflict_queue_depth": D,           // sharded runs, else 0
-//    "streaming": {"magnetization": M, "clusters": C, "interface": I}}
+//    "streaming": {"magnetization": M, "clusters": C, "interface": I},
+//    "adaptive": {"open_points": P, "max_ci_half_width": W}}  // opt-in
+//
+// The "adaptive" object (and an "open P" status-line segment) appears
+// when ProgressOptions::adaptive is set: the reporter then samples the
+// campaign engine's live stopping gauges — campaign.open_points and
+// campaign.max_ci_half_width_ppm (widest confidence interval over the
+// still-open points, in parts-per-million of the metric range).
 //
 // A final record (and status line) is always emitted by finish(), so a
 // zero-replica or faster-than-interval run still produces output.
@@ -41,6 +48,9 @@ struct ProgressOptions {
   // Worker-utilization counter prefix in the telemetry registry; the
   // campaign pool publishes under "pool.campaign.worker.".
   std::string worker_prefix = "pool.campaign.worker.";
+  // Sample the adaptive-campaign stopping gauges (open points / widest
+  // CI) into each record and the status line.
+  bool adaptive = false;
 };
 
 class ProgressReporter {

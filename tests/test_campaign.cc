@@ -222,7 +222,7 @@ TEST(Campaign, CheckpointResumeMatchesUninterrupted) {
   partial_options.threads = 3;
   partial_options.checkpoint_path = ck;
   partial_options.checkpoint_every = 1;
-  partial_options.stop_after = spec.total_replicas() / 2;
+  partial_options.max_new_replicas = spec.total_replicas() / 2;
   const CampaignResult partial = run_campaign(spec, seed, partial_options);
   EXPECT_FALSE(partial.complete);
   EXPECT_GE(partial.replicas_done, spec.total_replicas() / 2);
@@ -241,13 +241,59 @@ TEST(Campaign, CheckpointResumeMatchesUninterrupted) {
   std::remove(ck.c_str());
 }
 
+TEST(Campaign, BudgetExhaustionUnderStoppingRuleLeavesPointsOpen) {
+  // Regression: a run bounded by max_new_replicas used to let unresolved
+  // points silently pass for resolved. Under a stopping rule the budget
+  // cut must surface as kOpen (resumable) — never as a stop/cap decision
+  // the rule did not actually make.
+  ScenarioSpec spec = small_spec();
+  spec.stop.rule = StopRule::kHoeffding;
+  spec.stop.delta = 0.3;  // unreachable at the 5-replica cap: no fires
+  spec.stop.metric = "fixation";
+  const std::uint64_t seed = 13;
+
+  const CampaignResult uninterrupted = run_campaign(spec, seed);
+  ASSERT_TRUE(uninterrupted.complete);
+  for (const PointResult& pr : uninterrupted.points) {
+    EXPECT_EQ(pr.state, PointState::kCapped);
+  }
+
+  const std::string ck = testing::TempDir() + "/seg_campaign_budget.ck";
+  std::remove(ck.c_str());
+  CampaignOptions partial_options;
+  partial_options.threads = 2;
+  partial_options.checkpoint_path = ck;
+  partial_options.checkpoint_every = 1;
+  partial_options.max_new_replicas = 7;  // of the 20 the grid needs
+  const CampaignResult partial = run_campaign(spec, seed, partial_options);
+  EXPECT_FALSE(partial.complete);
+  std::size_t open = 0;
+  for (const PointResult& pr : partial.points) {
+    EXPECT_NE(pr.state, PointState::kStopped);
+    open += pr.state == PointState::kOpen;
+  }
+  EXPECT_GT(open, 0u);
+
+  CampaignOptions resume_options;
+  resume_options.checkpoint_path = ck;
+  resume_options.resume = true;
+  const CampaignResult resumed = run_campaign(spec, seed, resume_options);
+  ASSERT_TRUE(resumed.complete);
+  EXPECT_GT(resumed.replicas_resumed, 0u);
+  for (const PointResult& pr : resumed.points) {
+    EXPECT_EQ(pr.state, PointState::kCapped);
+  }
+  expect_bitwise_equal(uninterrupted, resumed);
+  std::remove(ck.c_str());
+}
+
 TEST(Campaign, ResumeRefusesMismatchedSeedOrSpec) {
   const ScenarioSpec spec = small_spec();
   const std::string ck = testing::TempDir() + "/seg_campaign_mismatch.ck";
   std::remove(ck.c_str());
   CampaignOptions save_options;
   save_options.checkpoint_path = ck;
-  save_options.stop_after = 3;
+  save_options.max_new_replicas = 3;
   run_campaign(spec, 1, save_options);
 
   // Different seed: checkpoint must be ignored, everything recomputed.
@@ -265,7 +311,7 @@ TEST(Campaign, ResumeRefusesMismatchedSeedOrSpec) {
   CampaignOptions wider_options;
   wider_options.checkpoint_path = ck;
   wider_options.resume = true;
-  wider_options.stop_after = 2;  // keep the recompute cheap
+  wider_options.max_new_replicas = 2;  // keep the recompute cheap
   const CampaignResult other_spec = run_campaign(wider, 1, wider_options);
   EXPECT_EQ(other_spec.replicas_resumed, 0u);
   std::remove(ck.c_str());
@@ -287,7 +333,7 @@ TEST(Campaign, ResumeRefusesAdjustedPoints) {
   CampaignOptions resume_options;
   resume_options.checkpoint_path = ck;
   resume_options.resume = true;
-  resume_options.stop_after = 1;
+  resume_options.max_new_replicas = 1;
   const CampaignResult r =
       run_campaign(spec, adjusted, spec.metrics,
                    make_schelling_replica(spec), 11, resume_options);

@@ -1,0 +1,365 @@
+// Differential battery for adaptive campaigns (sequential stopping).
+//
+// Three contracts, all pinned bitwise:
+//  1. stop_rule = none is the fixed-replica engine — aggregates, CSV,
+//     manifest, and checkpoint bytes identical to a reference fold and
+//     invariant across thread counts (the claim-queue scheduler must be
+//     invisible when no rule is active).
+//  2. Stopping decisions are a function of the campaign seed alone: the
+//     decision trace (point, replica count, rule, bound bits) is
+//     identical at 1/2/4/8 workers, and the folded aggregates with it.
+//  3. Checkpoint/resume reproduces the uninterrupted run exactly: a
+//     budget-interrupted adaptive campaign reports its unresolved points
+//     open (never stopped), and resuming it yields the uninterrupted
+//     trace, aggregates, and CSV.
+//
+// Replicas are synthetic (a scaled SplitMix64 draw per replica), so the
+// battery runs tens of thousands of replicas in milliseconds and the
+// per-point variance is set exactly — which also powers the acceptance
+// check that the Bernstein rule saves >= 30% of the replica cap on a
+// variance-skewed grid.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.h"
+#include "campaign/checkpoint.h"
+#include "campaign/sinks.h"
+#include "rng/splitmix64.h"
+
+namespace seg {
+namespace {
+
+double uniform01(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+// Per-point synthetic metric: mean 0.5, standard deviation sigma(point),
+// exactly (a centered uniform draw has sd range/sqrt(12)), bounded well
+// inside [0, 1] for every sigma below ~0.28.
+double synthetic_value(std::size_t point_index, std::uint64_t replica_seed,
+                       const std::vector<double>& sigmas) {
+  const double sigma = sigmas[point_index % sigmas.size()];
+  const double u = uniform01(replica_seed);
+  return 0.5 + sigma * std::sqrt(3.0) * (2.0 * u - 1.0);
+}
+
+ReplicaFn synthetic_replica(std::vector<double> sigmas) {
+  return [sigmas](const ScenarioPoint& point, std::size_t /*replica*/,
+                  std::uint64_t replica_seed) {
+    return std::vector<double>{
+        synthetic_value(point.index, replica_seed, sigmas)};
+  };
+}
+
+// A spec whose expanded grid has `points` cells; the tau axis is just an
+// enumeration handle (the synthetic replica keys off point.index).
+ScenarioSpec synthetic_spec(std::size_t points, std::size_t replicas) {
+  ScenarioSpec spec;
+  spec.name = "adaptive_test";
+  spec.n = {8};
+  spec.w = {1};
+  spec.tau.clear();
+  for (std::size_t i = 0; i < points; ++i) {
+    spec.tau.push_back(0.30 + 0.01 * static_cast<double>(i));
+  }
+  spec.replicas = replicas;
+  spec.metrics = {"flips"};  // layout placeholder; the replica is custom
+  return spec;
+}
+
+const std::vector<std::string> kMetricNames = {"value"};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void expect_same_aggregates(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    ASSERT_EQ(a.points[i].stats.size(), b.points[i].stats.size());
+    EXPECT_EQ(a.points[i].replicas_used, b.points[i].replicas_used)
+        << "point " << i;
+    EXPECT_EQ(a.points[i].state, b.points[i].state) << "point " << i;
+    for (std::size_t m = 0; m < a.points[i].stats.size(); ++m) {
+      const RunningStats& sa = a.points[i].stats[m];
+      const RunningStats& sb = b.points[i].stats[m];
+      ASSERT_EQ(sa.count(), sb.count()) << "point " << i;
+      // Bitwise: the fold order must be identical, not merely close.
+      EXPECT_EQ(sa.mean(), sb.mean()) << "point " << i;
+      EXPECT_EQ(sa.variance(), sb.variance()) << "point " << i;
+    }
+  }
+}
+
+// ---- contract 1: rule none == fixed engine ------------------------------
+
+TEST(AdaptiveDifferential, RuleNoneMatchesReferenceFoldBitwise) {
+  const std::vector<double> sigmas = {0.05, 0.20, 0.10, 0.25};
+  ScenarioSpec spec = synthetic_spec(4, 6);
+  const auto points = expand_grid(spec);
+  const ReplicaFn replica = synthetic_replica(sigmas);
+  const std::uint64_t seed = 1234;
+
+  CampaignOptions options;
+  options.threads = 4;
+  const CampaignResult result =
+      run_campaign(spec, points, kMetricNames, replica, seed, options);
+
+  // Reference: the fixed-replica engine's contract, restated from
+  // scratch — replica g = p * replicas + r seeded mix(seed, g), folded
+  // in global replica order.
+  ASSERT_TRUE(result.complete);
+  ASSERT_TRUE(result.decision_trace.empty());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    RunningStats expected;
+    for (std::size_t r = 0; r < spec.replicas; ++r) {
+      const std::uint64_t g = p * spec.replicas + r;
+      expected.add(synthetic_value(p, derive_replica_seed(seed, g), sigmas));
+    }
+    EXPECT_EQ(result.points[p].state, PointState::kFixed);
+    EXPECT_EQ(result.points[p].replicas_used, spec.replicas);
+    EXPECT_EQ(result.points[p].stats[0].mean(), expected.mean());
+    EXPECT_EQ(result.points[p].stats[0].variance(), expected.variance());
+  }
+}
+
+TEST(AdaptiveDifferential, RuleNoneOutputsInvariantAcrossThreadCounts) {
+  const std::vector<double> sigmas = {0.05, 0.20, 0.10, 0.25};
+  ScenarioSpec spec = synthetic_spec(4, 8);
+  const auto points = expand_grid(spec);
+  const ReplicaFn replica = synthetic_replica(sigmas);
+
+  std::string ref_csv, ref_manifest, ref_checkpoint;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const std::string tag = "none_t" + std::to_string(threads);
+    const std::string ck_path = "test_adaptive_" + tag + ".ck";
+    CampaignOptions options;
+    options.threads = threads;
+    options.checkpoint_path = ck_path;
+    options.checkpoint_every = 1;
+    const CampaignResult result =
+        run_campaign(spec, points, kMetricNames, replica, 99, options);
+    const std::string csv = CsvSink::render(spec, result);
+    ManifestSink manifest("test_adaptive_" + tag + ".manifest");
+    ASSERT_TRUE(manifest.write(spec, result));
+    const std::string manifest_bytes = read_file(manifest.path());
+    const std::string checkpoint_bytes = read_file(ck_path);
+    // A rule-none checkpoint must carry no decision trace — its bytes
+    // are the pre-adaptive format.
+    EXPECT_EQ(checkpoint_bytes.find("\ntrace "), std::string::npos);
+    EXPECT_EQ(checkpoint_bytes.find("\ns "), std::string::npos);
+    if (threads == 1) {
+      ref_csv = csv;
+      ref_manifest = manifest_bytes;
+      ref_checkpoint = checkpoint_bytes;
+      // No adaptive columns leak into fixed-mode documents.
+      EXPECT_EQ(csv.find("stop_state"), std::string::npos);
+      EXPECT_EQ(manifest_bytes.find("stop_rule"), std::string::npos);
+    } else {
+      EXPECT_EQ(csv, ref_csv) << threads << " threads";
+      EXPECT_EQ(manifest_bytes, ref_manifest) << threads << " threads";
+      EXPECT_EQ(checkpoint_bytes, ref_checkpoint) << threads << " threads";
+    }
+    std::remove(ck_path.c_str());
+    std::remove(manifest.path().c_str());
+  }
+}
+
+// ---- contract 2: decisions invariant to thread count --------------------
+
+TEST(AdaptiveDifferential, DecisionTraceInvariantAcrossThreadCounts) {
+  // The cap must clear the Bernstein linear term 3 * range * x / n even
+  // for the highest-variance point (~n = 1050 at delta = 0.1), so every
+  // point genuinely fires rather than capping out.
+  const std::vector<double> sigmas = {0.02, 0.25, 0.05, 0.15, 0.10, 0.20};
+  ScenarioSpec spec = synthetic_spec(6, 1536);
+  spec.stop.rule = StopRule::kBernstein;
+  spec.stop.delta = 0.1;
+  spec.stop.alpha = 0.05;
+  spec.stop.min_replicas = 4;
+  const auto points = expand_grid(spec);
+  const ReplicaFn replica = synthetic_replica(sigmas);
+
+  std::vector<StopDecision> ref_trace;
+  std::string ref_csv;
+  CampaignResult ref_result;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    CampaignOptions options;
+    options.threads = threads;
+    const CampaignResult result =
+        run_campaign(spec, points, kMetricNames, replica, 7, options);
+    ASSERT_TRUE(result.complete);
+    ASSERT_FALSE(result.decision_trace.empty());
+    const std::string csv = CsvSink::render(spec, result);
+    if (threads == 1) {
+      ref_trace = result.decision_trace;
+      ref_csv = csv;
+      ref_result = result;
+      // The adaptive document carries the stop columns.
+      EXPECT_NE(csv.find("stop_state"), std::string::npos);
+    } else {
+      // operator== compares the bound bitwise — frozen trace, not an
+      // approximate one.
+      EXPECT_TRUE(result.decision_trace == ref_trace)
+          << threads << " threads diverged from the 1-thread trace";
+      EXPECT_EQ(decision_trace_hash(result.decision_trace),
+                decision_trace_hash(ref_trace));
+      EXPECT_EQ(csv, ref_csv) << threads << " threads";
+      expect_same_aggregates(result, ref_result);
+    }
+  }
+}
+
+// ---- contract 3: checkpoint/resume --------------------------------------
+
+TEST(AdaptiveDifferential, BudgetInterruptedPointsStayOpenAndResume) {
+  const std::vector<double> sigmas = {0.02, 0.25, 0.05, 0.15};
+  ScenarioSpec spec = synthetic_spec(4, 1536);
+  spec.stop.rule = StopRule::kBernstein;
+  spec.stop.delta = 0.1;
+  spec.stop.alpha = 0.05;
+  spec.stop.min_replicas = 4;
+  const auto points = expand_grid(spec);
+  const ReplicaFn replica = synthetic_replica(sigmas);
+  const std::uint64_t seed = 42;
+
+  CampaignOptions full_options;
+  full_options.threads = 2;
+  const CampaignResult uninterrupted =
+      run_campaign(spec, points, kMetricNames, replica, seed, full_options);
+  ASSERT_TRUE(uninterrupted.complete);
+
+  const std::string ck_path = "test_adaptive_resume.ck";
+  std::remove(ck_path.c_str());
+  CampaignOptions partial_options;
+  partial_options.threads = 2;
+  partial_options.checkpoint_path = ck_path;
+  partial_options.checkpoint_every = 16;
+  partial_options.max_new_replicas = 100;  // well before any rule fires
+  const CampaignResult partial = run_campaign(spec, points, kMetricNames,
+                                              replica, seed, partial_options);
+  EXPECT_FALSE(partial.complete);
+  // The budget exhausted the run, not the rules: every unresolved point
+  // must be reported open — a "stopped" here would silently truncate the
+  // campaign's statistics.
+  std::size_t open = 0;
+  for (const PointResult& pr : partial.points) {
+    EXPECT_NE(pr.state, PointState::kCapped);
+    open += pr.state == PointState::kOpen;
+  }
+  EXPECT_GT(open, 0u);
+
+  CampaignOptions resume_options;
+  resume_options.threads = 4;  // resume may use a different pool
+  resume_options.checkpoint_path = ck_path;
+  resume_options.resume = true;
+  const CampaignResult resumed = run_campaign(spec, points, kMetricNames,
+                                              replica, seed, resume_options);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_GT(resumed.replicas_resumed, 0u);
+  EXPECT_TRUE(resumed.decision_trace == uninterrupted.decision_trace)
+      << "resume diverged from the uninterrupted decision trace";
+  expect_same_aggregates(resumed, uninterrupted);
+  EXPECT_EQ(CsvSink::render(spec, resumed),
+            CsvSink::render(spec, uninterrupted));
+  std::remove(ck_path.c_str());
+}
+
+TEST(AdaptiveDifferential, CheckpointPersistsAndVerifiesTheTrace) {
+  const std::vector<double> sigmas = {0.02, 0.05};
+  ScenarioSpec spec = synthetic_spec(2, 1536);
+  spec.stop.rule = StopRule::kBernstein;
+  spec.stop.delta = 0.1;
+  spec.stop.min_replicas = 4;
+  const auto points = expand_grid(spec);
+  const std::string ck_path = "test_adaptive_trace.ck";
+  std::remove(ck_path.c_str());
+
+  CampaignOptions options;
+  options.threads = 2;
+  options.checkpoint_path = ck_path;
+  const CampaignResult result = run_campaign(
+      spec, points, kMetricNames, synthetic_replica(sigmas), 5, options);
+  ASSERT_TRUE(result.complete);
+  ASSERT_EQ(result.decision_trace.size(), 2u);
+
+  CheckpointData ck;
+  ASSERT_TRUE(load_checkpoint(ck_path, &ck));
+  EXPECT_TRUE(ck.trace == result.decision_trace);
+  // The file carries the trace hash trailer and refuses a tampered
+  // decision line.
+  std::string bytes = read_file(ck_path);
+  EXPECT_NE(bytes.find("\ntrace "), std::string::npos);
+  const std::size_t s_line = bytes.find("\ns 0 ");
+  ASSERT_NE(s_line, std::string::npos);
+  bytes[s_line + 3] = '1';  // decision now claims point 1 stopped twice
+  const std::string tampered_path = "test_adaptive_trace_tampered.ck";
+  std::ofstream(tampered_path, std::ios::binary) << bytes;
+  CheckpointData rejected;
+  EXPECT_FALSE(load_checkpoint(tampered_path, &rejected))
+      << "a checkpoint whose trace hash mismatches its decisions must be "
+         "refused";
+  std::remove(ck_path.c_str());
+  std::remove(tampered_path.c_str());
+}
+
+// ---- acceptance: replica savings on a variance-skewed grid --------------
+
+TEST(AdaptiveDifferential, BernsteinSavesThirtyPercentOnSkewedGrid) {
+  // The reference grid: 16 points whose metric sd ramps 0.02 -> 0.25.
+  // A fixed-replica campaign needs the worst-case count everywhere —
+  // the cap below is sized so the highest-variance point barely resolves
+  // at delta = 0.05, i.e. the fixed engine would run ~the full cap. The
+  // Bernstein stopper resolves the low-variance points an order of
+  // magnitude earlier; the acceptance bar is >= 30% of the cap saved at
+  // equal (delta-certified) CI width.
+  constexpr std::size_t kPoints = 16;
+  std::vector<double> sigmas;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    sigmas.push_back(0.02 + (0.25 - 0.02) * static_cast<double>(i) /
+                                static_cast<double>(kPoints - 1));
+  }
+  ScenarioSpec spec = synthetic_spec(kPoints, 3072);
+  spec.stop.rule = StopRule::kBernstein;
+  spec.stop.delta = 0.05;
+  spec.stop.alpha = 0.05;
+  spec.stop.min_replicas = 16;
+  const auto points = expand_grid(spec);
+
+  CampaignOptions options;
+  options.threads = 4;
+  const CampaignResult result = run_campaign(
+      spec, points, kMetricNames, synthetic_replica(sigmas), 2024, options);
+  ASSERT_TRUE(result.complete);
+
+  const std::size_t cap_total = kPoints * spec.layout_replicas();
+  const double savings = 1.0 - static_cast<double>(result.replicas_done) /
+                                   static_cast<double>(cap_total);
+  std::printf("// adaptive savings: %zu / %zu replicas -> %.1f%% saved\n",
+              result.replicas_done, cap_total, 100.0 * savings);
+  EXPECT_GE(savings, 0.30);
+
+  // Every stopped point genuinely met the target half-width, and lower
+  // variance stopped no later than (much) higher variance.
+  for (const PointResult& pr : result.points) {
+    if (pr.state == PointState::kStopped) {
+      EXPECT_LE(pr.stop_bound, spec.stop.delta);
+    }
+  }
+  const PointResult& lo = result.points.front();   // sigma 0.02
+  const PointResult& hi = result.points.back();    // sigma 0.25
+  EXPECT_LT(lo.replicas_used, hi.replicas_used / 2)
+      << "variance adaptivity missing: easy points must stop far earlier";
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,327 @@
+// Statistical battery for the sequential stopping rules
+// (campaign/stopping.h).
+//
+// The headline tests are Monte-Carlo coverage checks: a confidence
+// sequence promises P(exists n: |mean_n - mu| > h_n) <= alpha
+// *simultaneously over every n*, and we verify that promise empirically
+// over thousands of simulated bounded iid streams instead of trusting
+// the formula. A stream miscovers if the interval ever excludes the true
+// mean at any prefix length; the observed miscoverage rate must stay
+// below alpha plus a small binomial slack.
+//
+// SEG_STOPPING_CALIBRATE=1 prints the observed miscoverage rates (and
+// the binomial standard errors) instead of asserting, in the style of
+// SEG_STREAMING_STATS_CALIBRATE in test_streaming_stats.cc.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "campaign/stopping.h"
+#include "gtest/gtest.h"
+#include "rng/splitmix64.h"
+
+namespace seg {
+namespace {
+
+bool calibrating() {
+  const char* env = std::getenv("SEG_STOPPING_CALIBRATE");
+  return env != nullptr && env[0] == '1';
+}
+
+double uniform01(SplitMix64& rng) {
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+// ---- coverage -----------------------------------------------------------
+
+constexpr std::size_t kStreams = 2500;   // >= 2000 per the battery spec
+constexpr std::size_t kHorizon = 512;    // prefix lengths checked per stream
+constexpr double kAlpha = 0.05;
+constexpr std::uint64_t kSeedBase = 0x5eedc0de;
+
+enum class Stream { kUniform, kBernoulliQuarter, kSpiky };
+
+// One bounded iid draw in [0, 1] with a known mean.
+double draw(Stream kind, SplitMix64& rng, double* mu) {
+  switch (kind) {
+    case Stream::kUniform:
+      *mu = 0.5;
+      return uniform01(rng);
+    case Stream::kBernoulliQuarter:
+      *mu = 0.25;
+      return uniform01(rng) < 0.25 ? 1.0 : 0.0;
+    case Stream::kSpiky:
+      // Mostly tiny values with rare unit spikes: high skew, the regime
+      // where a naive (non-anytime) Bernstein bound undercovers.
+      *mu = 0.05 * 1.0 + 0.95 * 0.02;
+      return uniform01(rng) < 0.05 ? 1.0 : 0.02;
+  }
+  *mu = 0.5;
+  return 0.5;
+}
+
+// Fraction of streams whose confidence sequence ever excludes the true
+// mean within the horizon. Welford mirrors SequentialStopper's fold so
+// the test exercises the same variance path the engine uses.
+double miscoverage_rate(StopRule rule, Stream kind, std::uint64_t seed_base) {
+  std::size_t missed = 0;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    SplitMix64 rng(mix_seed(seed_base, s));
+    double mean = 0.0, m2 = 0.0, mu = 0.0;
+    bool miss = false;
+    for (std::size_t n = 1; n <= kHorizon && !miss; ++n) {
+      const double v = draw(kind, rng, &mu);
+      const double d = v - mean;
+      mean += d / static_cast<double>(n);
+      m2 += d * (v - mean);
+      const double var = n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+      const double h =
+          rule == StopRule::kBernstein
+              ? empirical_bernstein_half_width(n, var, kAlpha, 1.0)
+              : hoeffding_half_width(n, kAlpha, 1.0);
+      miss = std::abs(mean - mu) > h;
+    }
+    missed += miss;
+  }
+  return static_cast<double>(missed) / static_cast<double>(kStreams);
+}
+
+// Binomial slack: even a perfectly calibrated alpha-rate would show
+// sampling noise of sqrt(alpha (1 - alpha) / streams) ~ 0.0044; three
+// sigma on top of alpha never trips on noise. In practice both bounds
+// are conservative (union bound + alpha spending) and the observed rates
+// sit far below alpha — run with SEG_STOPPING_CALIBRATE=1 to see them.
+const double kCoverageBar =
+    kAlpha + 3.0 * std::sqrt(kAlpha * (1.0 - kAlpha) /
+                             static_cast<double>(kStreams));
+
+class StoppingCoverage
+    : public ::testing::TestWithParam<std::pair<StopRule, Stream>> {};
+
+TEST_P(StoppingCoverage, AnytimeMiscoverageBelowAlpha) {
+  const auto [rule, kind] = GetParam();
+  if (calibrating()) {
+    for (const std::uint64_t base : {kSeedBase, kSeedBase + 101,
+                                     kSeedBase + 202}) {
+      std::printf("// rule %s: base %llu -> miscoverage %.4f (bar %.4f)\n",
+                  stop_rule_name(rule),
+                  static_cast<unsigned long long>(base),
+                  miscoverage_rate(rule, kind, base), kCoverageBar);
+    }
+    GTEST_SKIP() << "calibration run";
+  }
+  EXPECT_LT(miscoverage_rate(rule, kind, kSeedBase), kCoverageBar)
+      << stop_rule_name(rule)
+      << " confidence sequence miscovers above alpha";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, StoppingCoverage,
+    ::testing::Values(
+        std::make_pair(StopRule::kHoeffding, Stream::kUniform),
+        std::make_pair(StopRule::kHoeffding, Stream::kBernoulliQuarter),
+        std::make_pair(StopRule::kBernstein, Stream::kUniform),
+        std::make_pair(StopRule::kBernstein, Stream::kBernoulliQuarter),
+        std::make_pair(StopRule::kBernstein, Stream::kSpiky)));
+
+// A stopped point's reported interval must cover the true mean at the
+// stopping time with the same guarantee — stopping is an "exists n"
+// event, exactly what anytime validity insures against.
+TEST(StoppingCoverage, CoverageHoldsAtTheStoppingTime) {
+  StopConfig config;
+  config.rule = StopRule::kBernstein;
+  config.delta = 0.15;
+  config.alpha = kAlpha;
+  config.min_replicas = 2;
+  // Longer horizon than the coverage sweep: at delta = 0.15 on a
+  // Bernoulli(0.25) stream the Bernstein rule fires around n ~ 900.
+  constexpr std::size_t kStopHorizon = 2048;
+  std::size_t stopped = 0, missed = 0;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    SplitMix64 rng(mix_seed(kSeedBase + 777, s));
+    SequentialStopper st(config);
+    double mu = 0.0;
+    for (std::size_t n = 0; n < kStopHorizon; ++n) {
+      if (st.observe(draw(Stream::kBernoulliQuarter, rng, &mu))) break;
+    }
+    if (!st.fired()) continue;
+    ++stopped;
+    missed += std::abs(st.mean() - mu) > st.bound_at_stop();
+  }
+  ASSERT_GT(stopped, kStreams / 2) << "stopper barely fired; test is vacuous";
+  EXPECT_LT(static_cast<double>(missed) / static_cast<double>(stopped),
+            kCoverageBar);
+}
+
+// ---- unit pins ----------------------------------------------------------
+
+TEST(StoppingBounds, HoeffdingMonotoneDecreasingInN) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t n = 1; n <= 4096; n *= 2) {
+    const double h = hoeffding_half_width(n, 0.05, 1.0);
+    EXPECT_LT(h, prev) << "half-width must shrink with n (n=" << n << ")";
+    EXPECT_GT(h, 0.0);
+    prev = h;
+  }
+}
+
+TEST(StoppingBounds, BernsteinMonotoneDecreasingInNAtFixedVariance) {
+  for (const double var : {0.0, 1e-4, 0.25}) {
+    double prev = std::numeric_limits<double>::infinity();
+    for (std::size_t n = 1; n <= 4096; n *= 2) {
+      const double h = empirical_bernstein_half_width(n, var, 0.05, 1.0);
+      EXPECT_LT(h, prev) << "var=" << var << " n=" << n;
+      prev = h;
+    }
+  }
+}
+
+TEST(StoppingBounds, BernsteinBeatsHoeffdingAtLowVariance) {
+  // The variance-adaptive bound is the whole point of the adaptive
+  // engine. Its 3 range x / n linear term keeps it above Hoeffding's
+  // sqrt(x / 2n) for small n regardless of variance (the crossover is
+  // n ~ 18 x ~ 300 at these alphas); past it, a low-variance stream's
+  // EB width collapses while Hoeffding's barely moves.
+  const double eb = empirical_bernstein_half_width(512, 1e-6, 0.05, 1.0);
+  const double hf = hoeffding_half_width(512, 0.05, 1.0);
+  EXPECT_LT(eb, hf);
+  EXPECT_LT(empirical_bernstein_half_width(2048, 1e-6, 0.05, 1.0),
+            0.5 * hoeffding_half_width(2048, 0.05, 1.0));
+}
+
+TEST(StoppingBounds, WidthsScaleWithTheDeclaredRange) {
+  const double h1 = hoeffding_half_width(64, 0.05, 1.0);
+  const double h10 = hoeffding_half_width(64, 0.05, 10.0);
+  EXPECT_DOUBLE_EQ(h10, 10.0 * h1);
+}
+
+TEST(StoppingBounds, DegenerateInputs) {
+  EXPECT_TRUE(std::isinf(hoeffding_half_width(0, 0.05, 1.0)));
+  EXPECT_TRUE(std::isinf(empirical_bernstein_half_width(0, 0.0, 0.05, 1.0)));
+  // Single sample: finite but far too wide to fire any sane delta.
+  EXPECT_GT(hoeffding_half_width(1, 0.05, 1.0), 1.0);
+  // Negative variance (numerical fuzz from Welford) is clamped, not NaN.
+  const double h = empirical_bernstein_half_width(8, -1e-18, 0.05, 1.0);
+  EXPECT_FALSE(std::isnan(h));
+  EXPECT_GT(h, 0.0);
+}
+
+TEST(StoppingBounds, AlphaSpendingTelescopesToAlpha) {
+  // sum_n alpha / (n (n+1)) = alpha; the partial sums must approach it
+  // from below — that is the whole union-bound budget.
+  double spent = 0.0;
+  for (std::size_t n = 1; n <= 100000; ++n) spent += anytime_alpha(n, 0.05);
+  EXPECT_LT(spent, 0.05);
+  EXPECT_GT(spent, 0.05 * 0.99998);
+}
+
+TEST(SequentialStopperTest, ZeroVarianceStreamStopsEarlyUnderBernstein) {
+  StopConfig config;
+  config.rule = StopRule::kBernstein;
+  config.delta = 0.05;
+  config.alpha = 0.05;
+  config.min_replicas = 2;
+  SequentialStopper st(config);
+  std::size_t fired_at = 0;
+  for (std::size_t n = 1; n <= 4096; ++n) {
+    if (st.observe(0.3)) {
+      fired_at = n;
+      break;
+    }
+  }
+  ASSERT_GT(fired_at, 0u) << "identical replicas must fire the rule";
+  // With zero variance only the 3 range x / n term remains, which needs
+  // n ~ 60 x ~ 1100 at delta = 0.05 — well under the ~3500 a Hoeffding
+  // stopper would need for the same width.
+  EXPECT_LE(fired_at, 2048u);
+  EXPECT_DOUBLE_EQ(st.mean(), 0.3);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+  EXPECT_LE(st.bound_at_stop(), config.delta);
+}
+
+TEST(SequentialStopperTest, RespectsMinReplicasFloor) {
+  StopConfig config;
+  config.rule = StopRule::kHoeffding;
+  config.delta = 10.0;  // fires on the first allowed observation
+  config.min_replicas = 5;
+  SequentialStopper st(config);
+  for (std::size_t n = 1; n < 5; ++n) {
+    EXPECT_FALSE(st.observe(0.5)) << "fired below the min_replicas floor";
+  }
+  EXPECT_TRUE(st.observe(0.5));
+  EXPECT_EQ(st.count(), 5u);
+}
+
+TEST(SequentialStopperTest, FiresExactlyOnceAndIgnoresLaterValues) {
+  StopConfig config;
+  config.rule = StopRule::kHoeffding;
+  config.delta = 10.0;
+  config.min_replicas = 2;
+  SequentialStopper st(config);
+  EXPECT_FALSE(st.observe(0.1));
+  EXPECT_TRUE(st.observe(0.2));
+  const double bound = st.bound_at_stop();
+  const double mean = st.mean();
+  EXPECT_FALSE(st.observe(0.9));  // ignored: already fired
+  EXPECT_EQ(st.count(), 2u);
+  EXPECT_DOUBLE_EQ(st.mean(), mean);
+  EXPECT_DOUBLE_EQ(st.bound_at_stop(), bound);
+}
+
+TEST(SequentialStopperTest, RuleNoneNeverFires) {
+  StopConfig config;  // rule = kNone
+  SequentialStopper st(config);
+  for (std::size_t n = 0; n < 1000; ++n) {
+    EXPECT_FALSE(st.observe(0.5));
+  }
+  EXPECT_FALSE(st.fired());
+  EXPECT_TRUE(std::isinf(st.half_width()));
+}
+
+TEST(SequentialStopperTest, PassRateDecidesSideOfThreshold) {
+  StopConfig config;
+  config.rule = StopRule::kPassRate;
+  config.delta = 0.01;  // too tight to pin; the side decision must fire
+  config.alpha = 0.05;
+  config.min_replicas = 2;
+  config.threshold = 0.5;
+  SequentialStopper st(config);
+  std::size_t fired_at = 0;
+  for (std::size_t n = 1; n <= 4096; ++n) {
+    if (st.observe(1.0)) {  // every outcome passes
+      fired_at = n;
+      break;
+    }
+  }
+  ASSERT_GT(fired_at, 0u);
+  // Fired because mean - h > threshold, not because h <= delta.
+  EXPECT_GT(st.bound_at_stop(), config.delta);
+  EXPECT_GT(st.mean() - st.bound_at_stop(), config.threshold);
+}
+
+TEST(StopDecisionTest, TraceHashIsOrderAndBitSensitive) {
+  const StopDecision a{3, 17, StopRule::kBernstein, 0.043};
+  const StopDecision b{5, 9, StopRule::kBernstein, 0.051};
+  EXPECT_NE(decision_trace_hash({a, b}), decision_trace_hash({b, a}));
+  StopDecision a2 = a;
+  a2.bound = std::nextafter(a.bound, 1.0);
+  EXPECT_FALSE(a == a2);
+  EXPECT_NE(decision_trace_hash({a, b}), decision_trace_hash({a2, b}));
+  EXPECT_EQ(decision_trace_hash({a, b}), decision_trace_hash({a, b}));
+}
+
+TEST(StopRuleTest, NamesRoundTrip) {
+  for (const StopRule rule : {StopRule::kNone, StopRule::kHoeffding,
+                              StopRule::kBernstein, StopRule::kPassRate}) {
+    StopRule parsed;
+    ASSERT_TRUE(parse_stop_rule(stop_rule_name(rule), &parsed));
+    EXPECT_EQ(parsed, rule);
+  }
+  StopRule parsed;
+  EXPECT_FALSE(parse_stop_rule("bogus", &parsed));
+}
+
+}  // namespace
+}  // namespace seg
