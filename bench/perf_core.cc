@@ -14,6 +14,7 @@
 #include "core/dynamics.h"
 #include "core/model.h"
 #include "core/parallel_dynamics.h"
+#include "graph/topology.h"
 #include "grid/box_sum.h"
 #include "grid/distance_transform.h"
 #include "grid/prefix_sum.h"
@@ -66,6 +67,30 @@ BENCHMARK(BM_Flip)
     ->Args({4, 1})
     ->Args({10, 0})
     ->Args({10, 1});
+
+// The same torus expressed as a GraphTopology, driven through the
+// engine's graph mode (CSR row walk, per-degree-class tables, byte
+// storage). The BM_FlipGraphTorus/<w> : BM_Flip/<w>/0 ratio is the
+// generic-graph overhead factor on the torus fast path's home turf —
+// scripts/bench.sh records it as context.graph_overhead and
+// scripts/audit.py ties the README claim to it.
+void BM_FlipGraphTorus(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  seg::ModelParams params{.n = 128, .w = w, .tau = 0.45, .p = 0.5};
+  const auto graph = std::make_shared<const seg::GraphTopology>(
+      seg::GraphTopology::torus(
+          params.n, seg::neighborhood_offsets(params.shape, params.w)));
+  seg::Rng rng(2);
+  seg::SchellingModel model(params, graph, rng);
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    model.flip(id);  // flip and flip back: state stays bounded
+    model.flip(id);
+    id = (id + 97) % (128 * 128);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FlipGraphTorus)->Arg(2)->Arg(4)->Arg(10);
 
 // Telemetry overhead on the hottest call: the same flip/flip-back loop as
 // BM_Flip (w = 10) with the telemetry runtime switch off (arg 0) or on

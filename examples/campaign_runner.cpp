@@ -22,7 +22,18 @@
 //   --n N  --w W       override built-in grid side / horizon (where used)
 //   --shards K         lattice shards per Glauber replica (sharded sweep
 //                      engine; K=1 keeps the serial engine, trajectories
-//                      are deterministic per K — see README "Scaling runs")
+//                      are deterministic per K — see README "Scaling runs").
+//                      Non-torus points shard by greedy-BFS graph partition
+//   --topology LIST    override the topology axis (comma-separated:
+//                      torus | lollipop | random_regular | small_world |
+//                      edge_list; see README "Graph topologies")
+//   --graph-nodes N    random_regular node count (0 = n*n)
+//   --graph-degree D   random_regular degree
+//   --graph-clique M   lollipop clique size
+//   --graph-path L     lollipop path length
+//   --graph-beta B     small_world rewiring probability
+//   --graph-seed S     graph builder seed
+//   --graph-file F     edge_list file ("u v" per line; spec campaigns)
 //   --out FILE         aggregated CSV (default <name>.csv)
 //   --manifest FILE    run manifest (default <name>.manifest)
 //   --checkpoint FILE  checkpoint path (enables periodic checkpointing)
@@ -71,6 +82,32 @@
 #include "util/args.h"
 
 namespace {
+
+// Comma-separated --topology list; false (with a message) on unknown
+// family names.
+bool parse_topology_list(const std::string& value,
+                         std::vector<seg::TopologyFamily>* out) {
+  out->clear();
+  std::string item;
+  std::istringstream in(value);
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    seg::TopologyFamily f;
+    if (!seg::parse_topology(item, &f)) {
+      std::fprintf(stderr,
+                   "--topology: unknown family '%s' (torus | lollipop | "
+                   "random_regular | small_world | edge_list)\n",
+                   item.c_str());
+      return false;
+    }
+    out->push_back(f);
+  }
+  if (out->empty()) {
+    std::fprintf(stderr, "--topology needs at least one family\n");
+    return false;
+  }
+  return true;
+}
 
 // Non-negative CLI integer; exits with a usage error on negative values
 // (a bare size_t cast would wrap -1 to ~2^64).
@@ -126,6 +163,24 @@ int main(int argc, char** argv) {
   }
   if (max_new_replicas == 0) max_new_replicas = stop_after_alias;
 
+  std::size_t graph_nodes = 0, graph_degree = 0, graph_clique = 0,
+              graph_path = 0, graph_seed = 0;
+  if (!get_size(args, "graph-nodes", 0, &graph_nodes) ||
+      !get_size(args, "graph-degree", 0, &graph_degree) ||
+      !get_size(args, "graph-clique", 0, &graph_clique) ||
+      !get_size(args, "graph-path", 0, &graph_path) ||
+      !get_size(args, "graph-seed", 0, &graph_seed)) {
+    return 1;
+  }
+  const double graph_beta = args.get_double("graph-beta", -1.0);
+  const std::string graph_file = args.get_string("graph-file", "");
+  std::vector<seg::TopologyFamily> topology_override;
+  if (args.has("topology") &&
+      !parse_topology_list(args.get_string("topology", ""),
+                           &topology_override)) {
+    return 1;
+  }
+
   seg::BuiltinCampaign campaign;
   if (!spec_path.empty()) {
     std::ifstream in(spec_path);
@@ -143,6 +198,25 @@ int main(int argc, char** argv) {
     }
     if (replicas_override > 0) campaign.spec.replicas = replicas_override;
     if (shards_override > 0) campaign.spec.shards = shards_override;
+    // Topology overrides land before the replica fn captures the spec.
+    if (!topology_override.empty()) campaign.spec.topology = topology_override;
+    if (graph_nodes > 0) campaign.spec.graph_nodes = graph_nodes;
+    if (graph_degree > 0) {
+      campaign.spec.graph_degree = static_cast<int>(graph_degree);
+    }
+    if (graph_clique > 0) {
+      campaign.spec.graph_clique = static_cast<int>(graph_clique);
+    }
+    if (graph_path > 0) campaign.spec.graph_path = static_cast<int>(graph_path);
+    if (graph_beta >= 0.0) campaign.spec.graph_beta = graph_beta;
+    if (graph_seed > 0) campaign.spec.graph_seed = graph_seed;
+    if (!graph_file.empty()) campaign.spec.graph_file = graph_file;
+    std::string override_error;
+    if (!campaign.spec.valid(&override_error)) {
+      std::fprintf(stderr, "bad spec after overrides: %s\n",
+                   override_error.c_str());
+      return 1;
+    }
     campaign.points = seg::expand_grid(campaign.spec);
     campaign.metric_names = seg::expand_metric_names(campaign.spec.metrics);
     campaign.replica = seg::make_schelling_replica(campaign.spec);
@@ -151,7 +225,14 @@ int main(int argc, char** argv) {
         .n = static_cast<int>(n_override),
         .w = static_cast<int>(w_override),
         .replicas = replicas_override,
-        .shards = shards_override};
+        .shards = shards_override,
+        .topology = topology_override,
+        .graph_nodes = graph_nodes,
+        .graph_degree = static_cast<int>(graph_degree),
+        .graph_clique = static_cast<int>(graph_clique),
+        .graph_path = static_cast<int>(graph_path),
+        .graph_beta = graph_beta,
+        .graph_seed = graph_seed};
     if (!seg::make_builtin_campaign(scenario, overrides, &campaign)) {
       std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
                    scenario.c_str());
@@ -213,6 +294,15 @@ int main(int argc, char** argv) {
   const bool progress_line = args.get_bool("progress", false);
   const std::string progress_file = args.get_string("progress-file", "");
   const double progress_every = args.get_double("progress-every", 1.0);
+  // All numeric flags are read by now; a malformed value ("--seed 10x",
+  // an overflowing count) is a hard usage error, not a silent fallback
+  // to the default.
+  if (!args.errors().empty()) {
+    for (const std::string& e : args.errors()) {
+      std::fprintf(stderr, "%s\n", e.c_str());
+    }
+    return 1;
+  }
   const bool telemetry = args.get_bool("telemetry", false) ||
                          !trace_path.empty() || progress_line ||
                          !progress_file.empty();

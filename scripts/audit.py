@@ -28,6 +28,9 @@ Checks (see --list):
   * README.md's adaptive-campaign replica-savings claim equals the
     context.adaptive_savings figure bench.sh recorded, which must meet
     its own >= 0.30 target.
+  * README.md's torus-as-graph overhead factors equal the
+    context.graph_overhead ratios bench.sh recorded, which must match
+    the raw BM_FlipGraphTorus / BM_Flip rows they were derived from.
   * The histogram bucket count in src/obs/telemetry.h matches the
     README's description.
 
@@ -316,6 +319,60 @@ def check_adaptive_savings(repo, bench):
     return problems
 
 
+def check_graph_overhead(repo, bench):
+    """README torus-as-graph overhead claims == what bench.sh recorded.
+
+    BENCH_core.json's graph_overhead context carries, per neighborhood
+    radius w, the BM_FlipGraphTorus/<w> : BM_Flip/<w>/0 time ratio — what
+    routing the torus through the generic CSR graph engine costs over the
+    native span fast path. The README quotes those factors on the line
+    naming BM_FlipGraphTorus; any drift (a re-run, an optimistic edit) is
+    a contradiction.
+    """
+    problems = []
+    readme = read_text(repo, "README.md")
+    ctx = bench.get("context", {}).get("graph_overhead")
+    if ctx is None:
+        return ["BENCH_core.json has no graph_overhead context "
+                "(re-run scripts/bench.sh)"]
+    factors = ctx.get("overhead_factor_by_w", {})
+    if not factors:
+        return ["graph_overhead context records no overhead_factor_by_w"]
+    for w, row in sorted(factors.items()):
+        graph = row.get("graph_ns")
+        native = row.get("native_byte_ns")
+        factor = row.get("factor")
+        if not graph or not native or factor is None:
+            problems.append(
+                f"graph_overhead at w={w} is missing graph_ns / "
+                "native_byte_ns / factor")
+            continue
+        recomputed = round(graph / native, 2)
+        if abs(recomputed - factor) > 0.011:
+            problems.append(
+                f"graph_overhead at w={w} records factor {factor}x but "
+                f"graph_ns/native_byte_ns = {recomputed}x")
+    line = next((ln for ln in readme.splitlines()
+                 if "BM_FlipGraphTorus" in ln), None)
+    if line is None:
+        return problems + [
+            "README.md never mentions BM_FlipGraphTorus, whose "
+            "torus-as-graph overhead BENCH_core.json records"]
+    recorded = [row.get("factor") for row in factors.values()
+                if row.get("factor") is not None]
+    quoted = [float(x) for x in re.findall(r"(\d+(?:\.\d+)?)\s*x", line)]
+    if not quoted:
+        problems.append(
+            "README.md line naming BM_FlipGraphTorus quotes no 'Nx' "
+            "overhead to check against the recorded factors")
+    for q in quoted:
+        if not any(abs(q - f) <= 0.051 for f in recorded):
+            problems.append(
+                f"README.md quotes {q}x on the BM_FlipGraphTorus line but "
+                f"BENCH_core.json records {sorted(recorded)}")
+    return problems
+
+
 def check_histogram_buckets(repo, bench):
     header = read_text(repo, os.path.join("src", "obs", "telemetry.h"))
     readme = read_text(repo, "README.md")
@@ -340,6 +397,7 @@ CHECKS = [
     ("telemetry-budget", check_telemetry_budget),
     ("packed-speedup", check_packed_speedup),
     ("adaptive-savings", check_adaptive_savings),
+    ("graph-overhead", check_graph_overhead),
     ("histogram-buckets", check_histogram_buckets),
 ]
 

@@ -75,6 +75,7 @@ serial_rate = {}   # n -> packed serial-engine flips/sec
 sweep_rows = []
 recording = {}     # n -> {mode: real_time}; mode 0 = rescan, 1 = streaming
 by_storage = {}    # workload (name sans storage arg) -> {storage: ns}
+graph_flip = {}    # w -> ns; BM_FlipGraphTorus (CSR graph engine on torus)
 campaign = {}      # mode -> scheduled replicas; 0 = fixed, 1 = adaptive
 for bench in raw.get("benchmarks", []):
     name = bench.get("name", "")
@@ -99,6 +100,8 @@ for bench in raw.get("benchmarks", []):
             if shards == 0:
                 serial_rate[n] = bench["items_per_second"]
             sweep_rows.append((n, shards, bench))
+    if name.startswith("BM_FlipGraphTorus/") and bench.get("real_time"):
+        graph_flip[int(parts[1])] = bench["real_time"]
     if name.startswith("BM_StreamingObservables/"):
         n, mode = int(parts[1]), int(parts[2])
         recording.setdefault(n, {})[mode] = bench["real_time"]
@@ -180,6 +183,35 @@ context["packed_storage"] = {
     "packed_over_byte_same_run": packed_vs_byte,
     "packed_vs_prior_recorded_byte": vs_prior,
 }
+
+# Generic-graph dispatch overhead: BM_FlipGraphTorus/<w> drives the exact
+# BM_Flip loop through the CSR GraphTopology engine path on the torus the
+# native fast path was built for, so its ratio to BM_Flip/<w>/0 (byte
+# backend — the layout the graph engine uses) is the pure cost of the
+# indirection: CSR row walk + per-node class tables instead of the
+# precomputed stencil. README.md quotes the factor and scripts/audit.py
+# fails if the quote drifts from what is recorded here.
+# The context entry is self-contained (both ns values plus the factor,
+# like telemetry_overhead's baseline): the ratio only means something
+# same-run, so scripts/audit.py recomputes it from the pair recorded
+# here rather than from raw rows that may come from another run.
+graph_overhead = {}
+for w, t in sorted(graph_flip.items()):
+    native = by_storage.get(f"BM_Flip/{w}", {}).get(0)
+    if native:
+        graph_overhead[str(w)] = {
+            "graph_ns": round(t, 1),
+            "native_byte_ns": round(native, 1),
+            "factor": round(t / native, 2),
+        }
+if graph_overhead:
+    context["graph_overhead"] = {
+        "metric": "BM_FlipGraphTorus/<w> (torus expressed as a CSR "
+                  "GraphTopology, engine graph mode) vs BM_Flip/<w>/0 "
+                  "(native span engine, byte backend), same flip/flip-back "
+                  "loop at n = 128, same run",
+        "overhead_factor_by_w": graph_overhead,
+    }
 
 # Telemetry overhead: BM_FlipTelemetry/{0,1} is the BM_Flip/10 loop with
 # the runtime telemetry switch off/on. The disabled ratio is the cost the

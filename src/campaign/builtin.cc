@@ -104,11 +104,45 @@ BuiltinCampaign percolation_radius_campaign(
   return out;
 }
 
+BuiltinCampaign graph_topologies_campaign(const BuiltinOverrides& overrides) {
+  BuiltinCampaign out;
+  out.spec.name = "graph_topologies";
+  // n/w/shape parameterize the small_world base torus and the
+  // random_regular node-count default; the lollipop family reads only
+  // graph_clique/graph_path.
+  out.spec.n = {overrides.n > 0 ? overrides.n : 32};
+  out.spec.w = {overrides.w > 0 ? overrides.w : 1};
+  out.spec.tau = {0.35, 0.45};
+  out.spec.topology = {TopologyFamily::kLollipop,
+                       TopologyFamily::kRandomRegular,
+                       TopologyFamily::kSmallWorld};
+  if (!overrides.topology.empty()) out.spec.topology = overrides.topology;
+  out.spec.graph_nodes =
+      overrides.graph_nodes > 0 ? overrides.graph_nodes : 1024;
+  if (overrides.graph_degree > 0) out.spec.graph_degree = overrides.graph_degree;
+  if (overrides.graph_clique > 0) out.spec.graph_clique = overrides.graph_clique;
+  if (overrides.graph_path > 0) out.spec.graph_path = overrides.graph_path;
+  if (overrides.graph_beta >= 0.0) out.spec.graph_beta = overrides.graph_beta;
+  if (overrides.graph_seed > 0) out.spec.graph_seed = overrides.graph_seed;
+  out.spec.replicas = overrides.replicas > 0 ? overrides.replicas : 3;
+  if (overrides.shards > 0) out.spec.shards = overrides.shards;
+  // Graph mode has no termination certificate on every family (small
+  // worlds can cycle through near-regular degree classes for a long
+  // time), so cap the replicas.
+  out.spec.max_flips = 200000;
+  out.spec.metrics = {"flips", "terminated", "majority", "happy_fraction",
+                      "plus_fraction"};
+  out.points = expand_grid(out.spec);
+  out.metric_names = out.spec.metrics;
+  out.replica = make_schelling_replica(out.spec);
+  return out;
+}
+
 }  // namespace
 
 std::vector<std::string> builtin_campaign_names() {
   return {"phase_diagram", "region_size", "percolation_stretch",
-          "percolation_radius"};
+          "percolation_radius", "graph_topologies"};
 }
 
 bool make_builtin_campaign(const std::string& name,
@@ -122,6 +156,8 @@ bool make_builtin_campaign(const std::string& name,
     *out = percolation_stretch_campaign(overrides);
   } else if (name == "percolation_radius") {
     *out = percolation_radius_campaign(overrides);
+  } else if (name == "graph_topologies") {
+    *out = graph_topologies_campaign(overrides);
   } else {
     return false;
   }

@@ -13,6 +13,9 @@
 //                          Theorem 4 (bench/exp_percolation, part 1).
 //  * percolation_radius  — subcritical cluster-radius decay, Theorem 5
 //                          (bench/exp_percolation, part 2).
+//  * graph_topologies    — the three synthetic non-torus families
+//                          (lollipop, random_regular, small_world) through
+//                          the engine's graph mode, scalar metrics only.
 //
 // The percolation campaigns reuse the grid axes with their natural
 // reinterpretation (n is the box side L, p the site-open probability) and
@@ -45,6 +48,17 @@ struct BuiltinOverrides {
   // the campaign fixed-replica. Applied after the builder, so it steers
   // the engine's replica scheduling without touching the replica fn.
   StopConfig stop;
+  // Topology overrides for the graph_topologies campaign (the torus
+  // campaigns ignore them). Empty topology keeps the builtin's family
+  // list; the scalars follow the 0-keeps-default convention except
+  // graph_beta, where any negative value keeps the default.
+  std::vector<TopologyFamily> topology;
+  std::size_t graph_nodes = 0;
+  int graph_degree = 0;
+  int graph_clique = 0;
+  int graph_path = 0;
+  double graph_beta = -1.0;
+  std::uint64_t graph_seed = 0;
 };
 
 std::vector<std::string> builtin_campaign_names();

@@ -73,6 +73,13 @@ std::uint64_t campaign_identity(const ScenarioSpec& spec,
     mix_double(pt.params.p);
     mix(static_cast<std::uint64_t>(pt.params.shape));
     mix(static_cast<std::uint64_t>(pt.dynamics));
+    // Mixed only for non-torus points so every pre-graph campaign keeps
+    // its identity (and its checkpoints). The graph_* parameters are
+    // covered by the spec hash (non-default keys enter the canonical
+    // text).
+    if (pt.topology != TopologyFamily::kTorus) {
+      mix(static_cast<std::uint64_t>(pt.topology));
+    }
   }
   return h;
 }

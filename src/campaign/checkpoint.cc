@@ -4,12 +4,46 @@
 #include <cstdio>
 #include <cstring>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "obs/trace.h"
 
 namespace seg {
 namespace {
 
 constexpr char kMagic[] = "seg-campaign-checkpoint v1";
+
+// Durability for the write-tmp-then-rename protocol. Renaming over the
+// live checkpoint before the tmp file's data reaches disk inverts the
+// guarantee the protocol exists for: after a crash the only copy can be
+// the torn one. So the tmp file is flushed and fsync'd before the
+// rename, and the parent directory is fsync'd after it so the rename
+// itself (the directory entry) is durable too.
+bool flush_and_sync(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+#ifndef _WIN32
+  if (fsync(fileno(f)) != 0) return false;
+#endif
+  return true;
+}
+
+void sync_parent_dir(const std::string& path) {
+#ifndef _WIN32
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: the data itself is already synced
+  fsync(fd);
+  close(fd);
+#else
+  (void)path;
+#endif
+}
 
 std::uint64_t double_bits(double v) {
   std::uint64_t bits;
@@ -60,11 +94,13 @@ bool save_checkpoint(const std::string& path, const CheckpointData& data) {
                             decision_trace_hash(data.trace)) > 0;
   }
   ok = ok && std::fprintf(f, "end %zu\n", data.done_count()) > 0;
+  ok = ok && flush_and_sync(f);
   ok = std::fclose(f) == 0 && ok;
   if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return false;
   }
+  sync_parent_dir(path);
   return true;
 }
 
@@ -129,7 +165,10 @@ bool load_checkpoint(const std::string& path, CheckpointData* out) {
       ok = std::fscanf(f, " %" SCNx64, &trace_hash) == 1;
       saw_trace_hash = ok;
     } else if (std::strcmp(tag, "end") == 0) {
-      ok = std::fscanf(f, "%zu", &trailer_count) == 1;
+      // The trailer must be a complete line: a write cut anywhere inside
+      // the final "end N\n" is a torn file, not a shorter checkpoint.
+      ok = std::fscanf(f, "%zu", &trailer_count) == 1 &&
+           std::fgetc(f) == '\n';
       saw_trailer = ok;
       break;
     } else {

@@ -2,11 +2,14 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <memory>
 
 #include "analysis/streaming.h"
 #include "core/parallel_dynamics.h"
+#include "graph/partition.h"
+#include "graph/topology.h"
 #include "lattice/sharded.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -125,34 +128,78 @@ constexpr const char* kStreamingGroup[] = {
 struct MetricEntry {
   const char* name;
   MetricFn fn;
+  // Meaningful on an arbitrary graph topology? The region, cluster and
+  // streaming metrics read 2-d lattice structure (distance transforms,
+  // site coordinates) and are lattice-only.
+  bool graph_ok;
 };
 
 // Registry order is the order known_metrics() reports; metric evaluation
 // order within a replica follows spec.metrics, not this table.
 constexpr MetricEntry kRegistry[] = {
-    {"flips", metric_flips},
-    {"time", metric_time},
-    {"terminated", metric_terminated},
-    {"fixation", metric_fixation},
-    {"majority", metric_majority},
-    {"happy_fraction", metric_happy_fraction},
-    {"unhappy_count", metric_unhappy_count},
-    {"plus_fraction", metric_plus_fraction},
-    {"mean_mono_region", metric_mean_mono_region},
-    {"largest_mono_region", metric_largest_mono_region},
-    {"mean_almost_region", metric_mean_almost_region},
-    {"largest_almost_region", metric_largest_almost_region},
-    {"largest_cluster", metric_largest_cluster},
-    {"cluster_count", metric_cluster_count},
-    {"mean_cluster_size", metric_mean_cluster_size},
-    {"interface_length", metric_interface_length},
-    {"streaming_magnetization", metric_streaming_magnetization},
-    {"streaming_interface_length", metric_streaming_interface},
-    {"streaming_cluster_count", metric_streaming_cluster_count},
-    {"streaming_largest_cluster", metric_streaming_largest_cluster},
-    {"streaming_mean_cluster_size", metric_streaming_mean_cluster_size},
-    {"streaming_autocorr_lag1", metric_streaming_autocorr_lag1},
+    {"flips", metric_flips, true},
+    {"time", metric_time, true},
+    {"terminated", metric_terminated, true},
+    {"fixation", metric_fixation, true},
+    {"majority", metric_majority, true},
+    {"happy_fraction", metric_happy_fraction, true},
+    {"unhappy_count", metric_unhappy_count, true},
+    {"plus_fraction", metric_plus_fraction, true},
+    {"mean_mono_region", metric_mean_mono_region, false},
+    {"largest_mono_region", metric_largest_mono_region, false},
+    {"mean_almost_region", metric_mean_almost_region, false},
+    {"largest_almost_region", metric_largest_almost_region, false},
+    {"largest_cluster", metric_largest_cluster, false},
+    {"cluster_count", metric_cluster_count, false},
+    {"mean_cluster_size", metric_mean_cluster_size, false},
+    {"interface_length", metric_interface_length, false},
+    {"streaming_magnetization", metric_streaming_magnetization, false},
+    {"streaming_interface_length", metric_streaming_interface, false},
+    {"streaming_cluster_count", metric_streaming_cluster_count, false},
+    {"streaming_largest_cluster", metric_streaming_largest_cluster, false},
+    {"streaming_mean_cluster_size", metric_streaming_mean_cluster_size,
+     false},
+    {"streaming_autocorr_lag1", metric_streaming_autocorr_lag1, false},
 };
+
+// Constructs the topology a non-torus point runs on, from the spec's
+// graph_* parameters. nullptr (with *why) when construction fails — in
+// practice only for edge_list files, since ScenarioSpec::valid() already
+// vetted the synthetic-family parameters.
+std::shared_ptr<const GraphTopology> build_topology(const ScenarioSpec& spec,
+                                                    const ScenarioPoint& point,
+                                                    std::string* why) {
+  switch (point.topology) {
+    case TopologyFamily::kTorus:
+      break;
+    case TopologyFamily::kLollipop:
+      return std::make_shared<const GraphTopology>(
+          GraphTopology::lollipop(spec.graph_clique, spec.graph_path));
+    case TopologyFamily::kRandomRegular: {
+      const std::size_t nodes =
+          spec.graph_nodes > 0
+              ? spec.graph_nodes
+              : static_cast<std::size_t>(point.params.n) * point.params.n;
+      return std::make_shared<const GraphTopology>(
+          GraphTopology::random_regular(static_cast<int>(nodes),
+                                        spec.graph_degree, spec.graph_seed));
+    }
+    case TopologyFamily::kSmallWorld:
+      return std::make_shared<const GraphTopology>(GraphTopology::small_world(
+          point.params.n,
+          neighborhood_offsets(point.params.shape, point.params.w),
+          spec.graph_beta, spec.graph_seed));
+    case TopologyFamily::kEdgeList: {
+      GraphTopology g;
+      if (!GraphTopology::load_edge_list(spec.graph_file, &g, why)) {
+        return nullptr;
+      }
+      return std::make_shared<const GraphTopology>(std::move(g));
+    }
+  }
+  if (why) *why = "torus points do not build a graph";
+  return nullptr;
+}
 
 }  // namespace
 
@@ -187,6 +234,13 @@ bool lookup_metric(const std::string& name, MetricFn* fn) {
       if (fn) *fn = entry.fn;
       return true;
     }
+  }
+  return false;
+}
+
+bool metric_supports_graph(const std::string& name) {
+  for (const MetricEntry& entry : kRegistry) {
+    if (name == entry.name) return entry.graph_ok;
   }
   return false;
 }
@@ -242,6 +296,65 @@ ReplicaFn make_schelling_replica(const ScenarioSpec& spec) {
   return [spec, fns, needs_streaming](const ScenarioPoint& point,
                                       std::size_t /*replica*/,
                                       std::uint64_t replica_seed) {
+    if (point.topology != TopologyFamily::kTorus) {
+      // Graph-topology replica: same stream layout as the torus path
+      // (0 = init, 1 = dynamics, 2 = measurement), the model built over
+      // the point's GraphTopology with per-node thresholds. Streaming
+      // metrics are lattice-only and already refused by valid(), so no
+      // observer is attached here.
+      std::string why;
+      const std::shared_ptr<const GraphTopology> graph =
+          build_topology(spec, point, &why);
+      if (!graph) {
+        std::fprintf(stderr,
+                     "campaign: point %zu: cannot build %s topology: %s\n",
+                     point.index, topology_name(point.topology), why.c_str());
+        return std::vector<double>(fns.size(), nan_metric());
+      }
+      const bool sharded =
+          spec.shards > 1 && point.dynamics == DynamicsKind::kGlauber;
+      Rng init = Rng::stream(replica_seed, 0);
+      std::vector<std::int8_t> spins =
+          random_spins_count(graph->node_count(), point.params.p, init);
+      SchellingModel model =
+          sharded ? SchellingModel(point.params, graph, std::move(spins),
+                                   GraphPartition::greedy_bfs(
+                                       *graph, static_cast<int>(spec.shards)))
+                  : SchellingModel(point.params, graph, std::move(spins));
+      RunOptions run_options;
+      if (spec.max_flips > 0) run_options.max_flips = spec.max_flips;
+      RunResult run;
+      if (sharded) {
+        SEG_TRACE_SPAN("replica_dynamics");
+        ParallelOptions parallel_options;
+        parallel_options.threads = 1;  // replica-level pool saturates cores
+        parallel_options.max_flips = run_options.max_flips;
+        run = to_run_result(run_parallel_glauber(
+            model, mix_seed(replica_seed, 1), parallel_options));
+      } else {
+        SEG_TRACE_SPAN("replica_dynamics");
+        Rng dyn = Rng::stream(replica_seed, 1);
+        switch (point.dynamics) {
+          case DynamicsKind::kGlauber:
+            run = run_glauber(model, dyn, run_options);
+            break;
+          case DynamicsKind::kDiscrete:
+            run = run_discrete(model, dyn, run_options);
+            break;
+          case DynamicsKind::kSynchronous:
+            run = run_synchronous(model, spec.sync_max_rounds, run_options);
+            break;
+        }
+      }
+      SEG_HISTOGRAM("campaign.replica_flips", run.flips);
+      SEG_TRACE_SPAN("replica_measure");
+      Rng sample = Rng::stream(replica_seed, 2);
+      MetricContext ctx(model, run, spec, sample, nullptr);
+      std::vector<double> values;
+      values.reserve(fns.size());
+      for (const MetricFn fn : fns) values.push_back(fn(ctx));
+      return values;
+    }
     // Stream layout matches the bench convention: 0 = initial
     // configuration, 1 = dynamics, 2 = measurement sampling. The sharded
     // path derives its per-shard substreams from the dynamics stream's

@@ -64,6 +64,13 @@ using MetricFn = double (*)(MetricContext&);
 // Looks a metric up by name; fn may be nullptr to just test existence.
 bool lookup_metric(const std::string& name, MetricFn* fn);
 
+// True if the metric is meaningful on an arbitrary graph topology.
+// Scalar observables (flips, time, happy_fraction, ...) qualify; the
+// region/cluster/streaming metrics read 2-d lattice structure and are
+// refused by ScenarioSpec::valid() on non-torus points. Unknown names
+// return false.
+bool metric_supports_graph(const std::string& name);
+
 // Registry names, in registry order.
 std::vector<std::string> known_metrics();
 

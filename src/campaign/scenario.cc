@@ -1,10 +1,10 @@
 #include "campaign/scenario.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
 
 #include "campaign/metrics.h"
+#include "util/parse.h"
 
 namespace seg {
 namespace {
@@ -60,34 +60,29 @@ std::vector<std::string> split_list(const std::string& s) {
   return out;
 }
 
-bool parse_int_list(const std::string& s, std::vector<int>* out) {
+// List parsers over the checked scalar helpers (util/parse.h): trailing
+// garbage ("10x") and out-of-range values are hard errors naming the
+// offending token, not silent truncations.
+bool parse_int_list(const std::string& s, std::vector<int>* out,
+                    std::string* why) {
   out->clear();
   for (const std::string& item : split_list(s)) {
-    char* end = nullptr;
-    const long v = std::strtol(item.c_str(), &end, 10);
-    if (end == item.c_str() || *end != '\0') return false;
-    out->push_back(static_cast<int>(v));
-  }
-  return !out->empty();
-}
-
-bool parse_double_list(const std::string& s, std::vector<double>* out) {
-  out->clear();
-  for (const std::string& item : split_list(s)) {
-    char* end = nullptr;
-    const double v = std::strtod(item.c_str(), &end);
-    if (end == item.c_str() || *end != '\0') return false;
+    int v = 0;
+    if (!parse_int_checked(item, &v, why)) return false;
     out->push_back(v);
   }
   return !out->empty();
 }
 
-bool parse_u64(const std::string& s, std::uint64_t* out) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0') return false;
-  *out = v;
-  return true;
+bool parse_double_list(const std::string& s, std::vector<double>* out,
+                       std::string* why) {
+  out->clear();
+  for (const std::string& item : split_list(s)) {
+    double v = 0.0;
+    if (!parse_double_checked(item, &v, why)) return false;
+    out->push_back(v);
+  }
+  return !out->empty();
 }
 
 }  // namespace
@@ -109,6 +104,27 @@ bool parse_dynamics(const std::string& name, DynamicsKind* out) {
   return true;
 }
 
+const char* topology_name(TopologyFamily family) {
+  switch (family) {
+    case TopologyFamily::kTorus: return "torus";
+    case TopologyFamily::kLollipop: return "lollipop";
+    case TopologyFamily::kRandomRegular: return "random_regular";
+    case TopologyFamily::kSmallWorld: return "small_world";
+    case TopologyFamily::kEdgeList: return "edge_list";
+  }
+  return "torus";
+}
+
+bool parse_topology(const std::string& name, TopologyFamily* out) {
+  if (name == "torus") *out = TopologyFamily::kTorus;
+  else if (name == "lollipop") *out = TopologyFamily::kLollipop;
+  else if (name == "random_regular") *out = TopologyFamily::kRandomRegular;
+  else if (name == "small_world") *out = TopologyFamily::kSmallWorld;
+  else if (name == "edge_list") *out = TopologyFamily::kEdgeList;
+  else return false;
+  return true;
+}
+
 const char* shape_name(NeighborhoodShape shape) {
   return shape == NeighborhoodShape::kMoore ? "moore" : "von_neumann";
 }
@@ -121,8 +137,8 @@ bool parse_shape(const std::string& name, NeighborhoodShape* out) {
 }
 
 std::size_t ScenarioSpec::grid_size() const {
-  return n.size() * w.size() * tau.size() * tau_minus.size() * p.size() *
-         shape.size() * dynamics.size();
+  return topology.size() * n.size() * w.size() * tau.size() *
+         tau_minus.size() * p.size() * shape.size() * dynamics.size();
 }
 
 bool ScenarioSpec::valid(std::string* error) const {
@@ -131,14 +147,60 @@ bool ScenarioSpec::valid(std::string* error) const {
     return false;
   };
   if (n.empty() || w.empty() || tau.empty() || tau_minus.empty() ||
-      p.empty() || shape.empty() || dynamics.empty()) {
+      p.empty() || shape.empty() || dynamics.empty() || topology.empty()) {
     return fail("every grid axis needs at least one value");
   }
   if (replicas == 0) return fail("replicas must be >= 1");
   if (shards == 0) return fail("shards must be >= 1");
   if (metrics.empty()) return fail("at least one metric is required");
+  bool any_graph = false;
+  for (const TopologyFamily f : topology) {
+    any_graph |= f != TopologyFamily::kTorus;
+  }
   for (const std::string& m : expand_metric_names(metrics)) {
     if (!lookup_metric(m, nullptr)) return fail("unknown metric: " + m);
+    if (any_graph && !metric_supports_graph(m)) {
+      return fail("metric '" + m +
+                  "' is lattice-only and cannot run on a graph topology");
+    }
+  }
+  // Builder preconditions are validated here, not in the builders: their
+  // SEG_ASSERTs compile out of release builds, so the spec layer is the
+  // real guard for user-supplied parameters.
+  for (const TopologyFamily f : topology) {
+    switch (f) {
+      case TopologyFamily::kTorus:
+        break;
+      case TopologyFamily::kLollipop:
+        if (graph_clique < 2 || graph_path < 1) {
+          return fail("lollipop needs graph_clique >= 2, graph_path >= 1");
+        }
+        break;
+      case TopologyFamily::kRandomRegular:
+        if (graph_degree < 1) return fail("graph_degree must be >= 1");
+        for (const int side : n) {
+          const std::size_t nodes =
+              graph_nodes > 0 ? graph_nodes
+                              : static_cast<std::size_t>(side) * side;
+          if (nodes <= static_cast<std::size_t>(graph_degree)) {
+            return fail("random_regular needs node count > graph_degree");
+          }
+          if ((nodes * static_cast<std::size_t>(graph_degree)) % 2 != 0) {
+            return fail("random_regular needs nodes * graph_degree even");
+          }
+        }
+        break;
+      case TopologyFamily::kSmallWorld:
+        if (!(graph_beta >= 0.0 && graph_beta <= 1.0)) {
+          return fail("graph_beta must be in [0, 1]");
+        }
+        break;
+      case TopologyFamily::kEdgeList:
+        if (graph_file.empty()) {
+          return fail("edge_list topology needs graph_file");
+        }
+        break;
+    }
   }
   if (stop.rule != StopRule::kNone) {
     if (!(stop.delta > 0.0)) return fail("stop_delta must be > 0");
@@ -190,6 +252,23 @@ std::string ScenarioSpec::to_text() const {
   names.clear();
   for (const DynamicsKind d : dynamics) names.push_back(dynamics_name(d));
   out << "dynamics = " << join_strings(names) << '\n';
+  // The topology axis and the graph_* parameters follow the shards
+  // pattern below: only non-default values enter the canonical text, so
+  // every pre-graph spec keeps its hash and its checkpoints.
+  if (!(topology.size() == 1 && topology[0] == TopologyFamily::kTorus)) {
+    names.clear();
+    for (const TopologyFamily f : topology) names.push_back(topology_name(f));
+    out << "topology = " << join_strings(names) << '\n';
+  }
+  if (graph_clique != 24) out << "graph_clique = " << graph_clique << '\n';
+  if (graph_path != 40) out << "graph_path = " << graph_path << '\n';
+  if (graph_degree != 8) out << "graph_degree = " << graph_degree << '\n';
+  if (graph_beta != 0.1) {
+    out << "graph_beta = " << format_double(graph_beta) << '\n';
+  }
+  if (graph_seed != 1) out << "graph_seed = " << graph_seed << '\n';
+  if (graph_nodes != 0) out << "graph_nodes = " << graph_nodes << '\n';
+  if (!graph_file.empty()) out << "graph_file = " << graph_file << '\n';
   out << "replicas = " << replicas << '\n';
   // Only non-default shard counts enter the canonical text (and thus the
   // checkpoint identity hash): serial specs keep their pre-sharding hash,
@@ -247,19 +326,20 @@ bool ScenarioSpec::parse(const std::string& text, ScenarioSpec* out,
     const std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
     bool ok = true;
+    std::string why;
     if (key == "name") {
       spec.name = value;
       ok = !value.empty();
     } else if (key == "n") {
-      ok = parse_int_list(value, &spec.n);
+      ok = parse_int_list(value, &spec.n, &why);
     } else if (key == "w") {
-      ok = parse_int_list(value, &spec.w);
+      ok = parse_int_list(value, &spec.w, &why);
     } else if (key == "tau") {
-      ok = parse_double_list(value, &spec.tau);
+      ok = parse_double_list(value, &spec.tau, &why);
     } else if (key == "tau_minus") {
-      ok = parse_double_list(value, &spec.tau_minus);
+      ok = parse_double_list(value, &spec.tau_minus, &why);
     } else if (key == "p") {
-      ok = parse_double_list(value, &spec.p);
+      ok = parse_double_list(value, &spec.p, &why);
     } else if (key == "shape") {
       spec.shape.clear();
       for (const std::string& item : split_list(value)) {
@@ -276,27 +356,56 @@ bool ScenarioSpec::parse(const std::string& text, ScenarioSpec* out,
         spec.dynamics.push_back(d);
       }
       ok = ok && !spec.dynamics.empty();
+    } else if (key == "topology") {
+      spec.topology.clear();
+      for (const std::string& item : split_list(value)) {
+        TopologyFamily f;
+        if (!parse_topology(item, &f)) {
+          why = "unknown topology family: '" + item + "'";
+          ok = false;
+          break;
+        }
+        spec.topology.push_back(f);
+      }
+      ok = ok && !spec.topology.empty();
+    } else if (key == "graph_clique") {
+      ok = parse_int_checked(value, &spec.graph_clique, &why);
+    } else if (key == "graph_path") {
+      ok = parse_int_checked(value, &spec.graph_path, &why);
+    } else if (key == "graph_degree") {
+      ok = parse_int_checked(value, &spec.graph_degree, &why);
+    } else if (key == "graph_beta") {
+      ok = parse_double_checked(value, &spec.graph_beta, &why);
+    } else if (key == "graph_seed") {
+      ok = parse_u64_checked(value, &spec.graph_seed, &why);
+    } else if (key == "graph_nodes") {
+      std::uint64_t v = 0;
+      ok = parse_u64_checked(value, &v, &why);
+      spec.graph_nodes = static_cast<std::size_t>(v);
+    } else if (key == "graph_file") {
+      spec.graph_file = value;
+      ok = !value.empty();
     } else if (key == "replicas") {
       std::uint64_t v = 0;
-      ok = parse_u64(value, &v) && v > 0;
+      ok = parse_u64_checked(value, &v, &why) && v > 0;
       spec.replicas = static_cast<std::size_t>(v);
     } else if (key == "shards") {
       std::uint64_t v = 0;
-      ok = parse_u64(value, &v) && v > 0;
+      ok = parse_u64_checked(value, &v, &why) && v > 0;
       spec.shards = static_cast<std::size_t>(v);
     } else if (key == "max_flips") {
-      ok = parse_u64(value, &spec.max_flips);
+      ok = parse_u64_checked(value, &spec.max_flips, &why);
     } else if (key == "streaming_sample_every") {
-      ok = parse_u64(value, &spec.streaming_sample_every);
+      ok = parse_u64_checked(value, &spec.streaming_sample_every, &why);
     } else if (key == "sync_max_rounds") {
-      ok = parse_u64(value, &spec.sync_max_rounds);
+      ok = parse_u64_checked(value, &spec.sync_max_rounds, &why);
     } else if (key == "region_samples") {
       std::uint64_t v = 0;
-      ok = parse_u64(value, &v);
+      ok = parse_u64_checked(value, &v, &why);
       spec.region_samples = static_cast<std::size_t>(v);
     } else if (key == "almost_eps") {
       std::vector<double> v;
-      ok = parse_double_list(value, &v) && v.size() == 1;
+      ok = parse_double_list(value, &v, &why) && v.size() == 1;
       if (ok) spec.almost_eps = v[0];
     } else if (key == "metrics") {
       spec.metrics = split_list(value);
@@ -305,41 +414,43 @@ bool ScenarioSpec::parse(const std::string& text, ScenarioSpec* out,
       ok = parse_stop_rule(value, &spec.stop.rule);
     } else if (key == "stop_delta") {
       std::vector<double> v;
-      ok = parse_double_list(value, &v) && v.size() == 1;
+      ok = parse_double_list(value, &v, &why) && v.size() == 1;
       if (ok) spec.stop.delta = v[0];
     } else if (key == "stop_alpha") {
       std::vector<double> v;
-      ok = parse_double_list(value, &v) && v.size() == 1;
+      ok = parse_double_list(value, &v, &why) && v.size() == 1;
       if (ok) spec.stop.alpha = v[0];
     } else if (key == "min_replicas") {
       std::uint64_t v = 0;
-      ok = parse_u64(value, &v) && v > 0;
+      ok = parse_u64_checked(value, &v, &why) && v > 0;
       spec.stop.min_replicas = static_cast<std::size_t>(v);
     } else if (key == "max_replicas") {
       std::uint64_t v = 0;
-      ok = parse_u64(value, &v);
+      ok = parse_u64_checked(value, &v, &why);
       spec.stop.max_replicas = static_cast<std::size_t>(v);
     } else if (key == "stop_metric") {
       spec.stop.metric = value;
       ok = !value.empty();
     } else if (key == "stop_range") {
       std::vector<double> v;
-      ok = parse_double_list(value, &v) && v.size() == 2;
+      ok = parse_double_list(value, &v, &why) && v.size() == 2;
       if (ok) {
         spec.stop.range_lo = v[0];
         spec.stop.range_hi = v[1];
       }
     } else if (key == "stop_threshold") {
       std::vector<double> v;
-      ok = parse_double_list(value, &v) && v.size() == 1;
+      ok = parse_double_list(value, &v, &why) && v.size() == 1;
       if (ok) spec.stop.threshold = v[0];
     } else {
       return fail("line " + std::to_string(line_no) + ": unknown key '" +
                   key + "'");
     }
     if (!ok) {
-      return fail("line " + std::to_string(line_no) + ": bad value for '" +
-                  key + "'");
+      std::string msg = "line " + std::to_string(line_no) +
+                        ": bad value for '" + key + "'";
+      if (!why.empty()) msg += " (" + why + ")";
+      return fail(msg);
     }
   }
   std::string why;
@@ -361,24 +472,29 @@ std::uint64_t ScenarioSpec::hash() const {
 std::vector<ScenarioPoint> expand_grid(const ScenarioSpec& spec) {
   std::vector<ScenarioPoint> points;
   points.reserve(spec.grid_size());
-  for (const int n : spec.n)
-    for (const int w : spec.w)
-      for (const double tau : spec.tau)
-        for (const double tau_minus : spec.tau_minus)
-          for (const double p : spec.p)
-            for (const NeighborhoodShape shape : spec.shape)
-              for (const DynamicsKind dynamics : spec.dynamics) {
-                ScenarioPoint pt;
-                pt.index = points.size();
-                pt.params = ModelParams{.n = n,
-                                        .w = w,
-                                        .tau = tau,
-                                        .p = p,
-                                        .tau_minus = tau_minus,
-                                        .shape = shape};
-                pt.dynamics = dynamics;
-                points.push_back(pt);
-              }
+  // Topology is the outermost loop: a torus-only spec enumerates exactly
+  // the legacy point order, so adding the axis never renumbers (or
+  // reseeds) existing campaigns.
+  for (const TopologyFamily topology : spec.topology)
+    for (const int n : spec.n)
+      for (const int w : spec.w)
+        for (const double tau : spec.tau)
+          for (const double tau_minus : spec.tau_minus)
+            for (const double p : spec.p)
+              for (const NeighborhoodShape shape : spec.shape)
+                for (const DynamicsKind dynamics : spec.dynamics) {
+                  ScenarioPoint pt;
+                  pt.index = points.size();
+                  pt.params = ModelParams{.n = n,
+                                          .w = w,
+                                          .tau = tau,
+                                          .p = p,
+                                          .tau_minus = tau_minus,
+                                          .shape = shape};
+                  pt.dynamics = dynamics;
+                  pt.topology = topology;
+                  points.push_back(pt);
+                }
   return points;
 }
 

@@ -31,6 +31,21 @@ bool parse_dynamics(const std::string& name, DynamicsKind* out);
 const char* shape_name(NeighborhoodShape shape);
 bool parse_shape(const std::string& name, NeighborhoodShape* out);
 
+// Which topology the replicas run on. kTorus is the native span engine
+// (the default, bitwise the legacy trajectories); the rest construct a
+// GraphTopology (graph/topology.h) per replica and run the same dynamics
+// through the engine's graph mode with per-node thresholds.
+enum class TopologyFamily {
+  kTorus,          // native n x n torus, span/popcount fast path
+  kLollipop,       // clique of graph_clique nodes + path of graph_path
+  kRandomRegular,  // graph_nodes nodes, degree graph_degree, seeded
+  kSmallWorld,     // torus stencil rewired with prob. graph_beta, seeded
+  kEdgeList,       // imported from graph_file (u v per line)
+};
+
+const char* topology_name(TopologyFamily family);
+bool parse_topology(const std::string& name, TopologyFamily* out);
+
 struct ScenarioSpec {
   std::string name = "campaign";
 
@@ -43,6 +58,20 @@ struct ScenarioSpec {
   std::vector<double> p = {0.5};
   std::vector<NeighborhoodShape> shape = {NeighborhoodShape::kMoore};
   std::vector<DynamicsKind> dynamics = {DynamicsKind::kGlauber};
+
+  // Topology axis (outermost loop of the expansion). The default —
+  // torus only — keeps every key below out of the canonical text, so
+  // pre-graph specs keep their hash and their checkpoints stay
+  // resumable. Non-torus families read the graph_* parameters; n/w/shape
+  // retain their meaning only where noted.
+  std::vector<TopologyFamily> topology = {TopologyFamily::kTorus};
+  int graph_clique = 24;           // lollipop: clique size (>= 2)
+  int graph_path = 40;             // lollipop: path length (>= 1)
+  int graph_degree = 8;            // random_regular: node degree
+  double graph_beta = 0.1;         // small_world: rewiring probability
+  std::uint64_t graph_seed = 1;    // builder seed (rewiring / matching)
+  std::size_t graph_nodes = 0;     // random_regular node count; 0 = n*n
+  std::string graph_file;          // edge_list: path to "u v" lines
 
   // Replicas per scenario point. With a stopping rule this is the
   // default per-point cap (see `stop`); without one it is the exact
@@ -120,6 +149,7 @@ struct ScenarioPoint {
   std::size_t index = 0;  // position in the expanded grid
   ModelParams params;
   DynamicsKind dynamics = DynamicsKind::kGlauber;
+  TopologyFamily topology = TopologyFamily::kTorus;
 };
 
 // Cartesian product of the spec's axes in declaration order.

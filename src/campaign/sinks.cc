@@ -12,11 +12,22 @@ namespace {
 // The stop_state / stop_bound columns (and every other adaptive
 // rendering below) appear only when a stopping rule is active, so
 // rule-none documents stay byte-identical to the fixed-replica engine's.
+// The topology column follows the same pattern: torus-only campaigns
+// keep the legacy column layout.
+bool any_graph_point(const CampaignResult& result) {
+  for (const PointResult& pr : result.points) {
+    if (pr.point.topology != TopologyFamily::kTorus) return true;
+  }
+  return false;
+}
+
 std::vector<std::string> csv_header(const ScenarioSpec& spec,
                                     const CampaignResult& result) {
   std::vector<std::string> header = {"point",    "n",     "w",
                                      "tau",      "tau_minus", "p",
-                                     "shape",    "dynamics",  "replicas"};
+                                     "shape",    "dynamics"};
+  if (any_graph_point(result)) header.push_back("topology");
+  header.push_back("replicas");
   if (spec.stop.rule != StopRule::kNone) {
     header.push_back("stop_state");
     header.push_back("stop_bound");
@@ -35,6 +46,7 @@ std::vector<std::string> csv_header(const ScenarioSpec& spec,
 std::string CsvSink::render(const ScenarioSpec& spec,
                             const CampaignResult& result) {
   const bool adaptive = spec.stop.rule != StopRule::kNone;
+  const bool graph = any_graph_point(result);
   CsvWriter csv(csv_header(spec, result));
   for (const PointResult& pr : result.points) {
     const ModelParams& params = pr.point.params;
@@ -47,6 +59,7 @@ std::string CsvSink::render(const ScenarioSpec& spec,
         .add(params.p)
         .add(std::string(shape_name(params.shape)))
         .add(std::string(dynamics_name(pr.point.dynamics)));
+    if (graph) csv.add(std::string(topology_name(pr.point.topology)));
     const std::size_t count = pr.stats.empty() ? 0 : pr.stats[0].count();
     csv.add(static_cast<std::int64_t>(count));
     if (adaptive) {
@@ -137,7 +150,9 @@ bool ConsoleSink::write(const ScenarioSpec& spec,
                 result.replicas_done,
                 result.complete ? "" : " (INCOMPLETE)");
   }
+  const bool graph = any_graph_point(result);
   std::vector<std::string> header = {"n", "w", "tau", "p", "dyn"};
+  if (graph) header.push_back("topology");
   if (adaptive) {
     header.push_back("reps");
     header.push_back("state");
@@ -155,6 +170,7 @@ bool ConsoleSink::write(const ScenarioSpec& spec,
         .add(params.tau, 3)
         .add(params.p, 3)
         .add(std::string(dynamics_name(pr.point.dynamics)));
+    if (graph) table.add(std::string(topology_name(pr.point.topology)));
     if (adaptive) {
       table.add(static_cast<std::int64_t>(pr.replicas_used))
           .add(std::string(point_state_name(pr.state)));

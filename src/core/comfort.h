@@ -37,17 +37,23 @@ struct ComfortParams {
   EngineStorage storage = EngineStorage::kDefault;
 
   int neighborhood_size() const { return (2 * w + 1) * (2 * w + 1); }
-  // Inclusive integer band [k_lo, k_hi] on the same-type count.
-  int k_lo() const { return happiness_threshold(tau_lo, neighborhood_size()); }
-  int k_hi() const {
+  // Band edges for an arbitrary neighborhood size — the graph engine
+  // computes these per degree class.
+  static int k_lo_of(double tau_lo, int N) {
+    return happiness_threshold(tau_lo, N);
+  }
+  static int k_hi_of(double tau_hi, int N) {
     // floor(tau_hi * N), robust to fp edges (mirror of ceil in k_lo).
-    const double scaled = tau_hi * neighborhood_size();
+    const double scaled = tau_hi * N;
     const double nearest = std::nearbyint(scaled);
-    if (std::abs(scaled - nearest) < 1e-9 * neighborhood_size()) {
+    if (std::abs(scaled - nearest) < 1e-9 * N) {
       return static_cast<int>(nearest);
     }
     return static_cast<int>(std::floor(scaled));
   }
+  // Inclusive integer band [k_lo, k_hi] on the same-type count.
+  int k_lo() const { return k_lo_of(tau_lo, neighborhood_size()); }
+  int k_hi() const { return k_hi_of(tau_hi, neighborhood_size()); }
   bool valid() const {
     return n > 0 && w >= 1 && 2 * w + 1 <= n && tau_lo >= 0.0 &&
            tau_lo <= tau_hi && tau_hi <= 1.0 && p >= 0.0 && p <= 1.0;
@@ -61,9 +67,20 @@ class ComfortModel {
   ComfortModel(const ComfortParams& params, Rng& rng);
   ComfortModel(const ComfortParams& params, std::vector<std::int8_t> spins);
 
+  // Graph-topology variant: the comfort band is per node,
+  // [ceil(tau_lo * N_v), floor(tau_hi * N_v)] over the node's own
+  // neighborhood size. params.n/params.w are ignored.
+  ComfortModel(const ComfortParams& params,
+               std::shared_ptr<const GraphTopology> graph,
+               std::vector<std::int8_t> spins);
+
   const ComfortParams& params() const { return params_; }
   int side() const { return params_.n; }
   int neighborhood_size() const { return N_; }
+  bool graph_mode() const { return engine_.graph_mode(); }
+  int neighborhood_size_of(std::uint32_t id) const {
+    return engine_.neighborhood_size(id);
+  }
   std::size_t agent_count() const { return engine_.size(); }
 
   std::int8_t spin(std::uint32_t id) const { return engine_.spin(id); }
@@ -100,6 +117,9 @@ class ComfortModel {
  private:
   static BinarySpinEngine make_engine(const ComfortParams& params,
                                       std::vector<std::int8_t> spins);
+  static BinarySpinEngine make_graph_engine(
+      const ComfortParams& params, std::shared_ptr<const GraphTopology> graph,
+      std::vector<std::int8_t> spins);
 
   ComfortParams params_;
   int N_;

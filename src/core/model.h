@@ -49,17 +49,56 @@ class SchellingModel {
   SchellingModel(const ModelParams& params, std::vector<std::int8_t> spins,
                  ShardLayout layout);
 
+  // Graph-topology variants: agents live on `graph`'s nodes, happiness
+  // thresholds are per-node K_v = ceil(tau * N_v) over the node's own
+  // neighborhood size, and `partition` (graph/partition.h) plays the
+  // ShardLayout role for the parallel sweep engine. `params.n`/`params.w`
+  // keep their torus meaning only for builders that derive the graph from
+  // them; the engine itself reads nothing but tau/tau_minus.
+  SchellingModel(const ModelParams& params,
+                 std::shared_ptr<const GraphTopology> graph, Rng& rng,
+                 GraphPartition partition = GraphPartition());
+  SchellingModel(const ModelParams& params,
+                 std::shared_ptr<const GraphTopology> graph,
+                 std::vector<std::int8_t> spins,
+                 GraphPartition partition = GraphPartition());
+
   const ModelParams& params() const { return params_; }
   int side() const { return params_.n; }
   int horizon() const { return params_.w; }
+  // Torus-mode stencil size; graph-mode callers need the per-node
+  // neighborhood_size_of() below (degrees vary across the graph).
   int neighborhood_size() const { return N_; }
   // Threshold for +1 agents (equal to the -1 threshold in the symmetric
-  // model); use happy_threshold_of() in the asymmetric variant.
+  // model); use happy_threshold_of() in the asymmetric variant. Both are
+  // torus-mode values — graph mode thresholds are per node.
   int happy_threshold() const { return k_plus_; }
   int happy_threshold_of(std::int8_t type) const {
     return type > 0 ? k_plus_ : k_minus_;
   }
   std::size_t agent_count() const { return engine_.size(); }
+
+  bool graph_mode() const { return engine_.graph_mode(); }
+  // Null in torus mode.
+  const GraphTopology* graph() const { return engine_.graph(); }
+  // Neighborhood size of agent id, self included: N in torus mode, the
+  // node's CSR row length in graph mode.
+  int neighborhood_size_of(std::uint32_t id) const {
+    return engine_.neighborhood_size(id);
+  }
+  // Happiness threshold of agent id if it were of `type`:
+  // ceil(tau_type * N_id). Equals happy_threshold_of(type) in torus mode.
+  int happy_threshold_at(std::uint32_t id, std::int8_t type) const {
+    if (!graph_mode()) return happy_threshold_of(type);
+    return happiness_threshold(params_.tau_of(type),
+                               neighborhood_size_of(id));
+  }
+  // Can a flip at id write another shard's storage? Unified over stripe
+  // layouts and graph partitions — the parallel sweep engine's routing
+  // question.
+  bool shard_boundary(std::uint32_t id) const {
+    return engine_.shard_boundary(id);
+  }
 
   std::int8_t spin(std::uint32_t id) const { return engine_.spin(id); }
   std::int8_t spin_at(int x, int y) const;
@@ -87,7 +126,7 @@ class SchellingModel {
   std::int32_t same_count(std::uint32_t id) const;
 
   bool is_happy(std::uint32_t id) const {
-    return same_count(id) >= happy_threshold_of(spin(id));
+    return same_count(id) >= happy_threshold_at(id, spin(id));
   }
   bool is_unhappy(std::uint32_t id) const { return !is_happy(id); }
   // Would flipping make the agent happy? (N - same + 1 >= K after flip.)
@@ -171,6 +210,9 @@ class SchellingModel {
   static BinarySpinEngine make_engine(const ModelParams& params,
                                       std::vector<std::int8_t> spins,
                                       ShardLayout layout);
+  static BinarySpinEngine make_graph_engine(
+      const ModelParams& params, std::shared_ptr<const GraphTopology> graph,
+      std::vector<std::int8_t> spins, GraphPartition partition);
 
   ModelParams params_;
   int N_;        // neighborhood size
@@ -184,5 +226,11 @@ std::vector<Point> neighborhood_offsets(NeighborhoodShape shape, int w);
 
 // Draws a +1/-1 spin field of side n with P(+1) = p.
 std::vector<std::int8_t> random_spins(int n, double p, Rng& rng);
+
+// Draws `count` +1/-1 spins with P(+1) = p — the graph-node analogue of
+// random_spins (identical draw sequence, so a torus-built graph with
+// count = n*n sees the same initial field as the native model).
+std::vector<std::int8_t> random_spins_count(std::size_t count, double p,
+                                            Rng& rng);
 
 }  // namespace seg

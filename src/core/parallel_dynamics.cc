@@ -44,7 +44,6 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
                                        std::uint64_t seed,
                                        const ParallelOptions& options) {
   const int k = model.shard_count();
-  const ShardLayout& layout = model.shard_layout();
   StreamingObservables* streaming = options.streaming;
   SEG_ASSERT(model.flip_observer() == nullptr || k == 1,
              "engine-level flip observer attached to a " << k
@@ -96,7 +95,7 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
             static_cast<double>(flippable.size()));
         st.time += dt;
         const std::uint32_t id = flippable.sample(st.rng);
-        if (layout.boundary(id)) {
+        if (model.shard_boundary(id)) {
           st.queue.push_back(id);
           ++st.deferred;
           break;
@@ -136,7 +135,7 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
       std::uint64_t sweep_reconciled = 0;
       for (ShardState& st : shards) {
         for (const std::uint32_t id : st.queue) {
-          SEG_ASSERT(layout.boundary(id),
+          SEG_ASSERT(model.shard_boundary(id),
                      "non-boundary site " << id
                                           << " reached the conflict queue");
           if (model.in_flippable_set(id)) {
@@ -187,7 +186,6 @@ ParallelKawasakiResult run_parallel_kawasaki(
     SchellingModel& model, std::uint64_t seed,
     const ParallelKawasakiOptions& options) {
   const int k = model.shard_count();
-  const ShardLayout& layout = model.shard_layout();
 
   struct ShardState {
     Rng rng;
@@ -237,7 +235,7 @@ ParallelKawasakiResult run_parallel_kawasaki(
         const std::uint32_t b = unhappy.sample(st.rng);
         ++st.proposals;
         if (model.spin(a) == model.spin(b)) continue;
-        if (layout.boundary(a) || layout.boundary(b)) {
+        if (model.shard_boundary(a) || model.shard_boundary(b)) {
           st.queue.emplace_back(a, b);
           ++st.deferred;
           continue;
@@ -306,7 +304,7 @@ ParallelKawasakiResult run_parallel_kawasaki(
       for (ShardState& st : shards) {
         std::unordered_set<std::uint64_t> seen;  // same pair drawn twice
         for (const auto& [a, b] : st.queue) {
-          SEG_ASSERT(layout.boundary(a) || layout.boundary(b),
+          SEG_ASSERT(model.shard_boundary(a) || model.shard_boundary(b),
                      "interior pair (" << a << ", " << b
                                        << ") reached the conflict queue");
           const std::uint64_t key =

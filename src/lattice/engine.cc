@@ -1,6 +1,7 @@
 #include "lattice/engine.h"
 
 #include <cassert>
+#include <unordered_map>
 
 #include "grid/box_sum.h"
 
@@ -74,6 +75,79 @@ BinarySpinEngine::BinarySpinEngine(int n, int w, bool dense_window,
   simd_kernel_ =
       packed() && dense_window_ && sparse_crossings_ && cpu_has_avx512bw();
 #endif
+}
+
+BinarySpinEngine::BinarySpinEngine(std::shared_ptr<const GraphTopology> graph,
+                                   std::vector<std::int8_t> spins,
+                                   const GraphCodeFn& code_of, int set_count,
+                                   GraphPartition partition)
+    // geometry_ and table_ are torus-path state; graph mode never consults
+    // them, but neither type has a default constructor, so both get inert
+    // placeholders (the smallest valid window, an empty table).
+    : geometry_(3, 1),
+      shard_count_(partition.part_count()),
+      dense_window_(false),
+      sparse_crossings_(false),
+      set_count_(set_count),
+      table_(0, [](bool, int) { return std::uint8_t{0}; }),
+      spins_(std::move(spins)),
+      plus_count_(spins_.size(), 0),
+      status_(spins_.size(), 0),
+      graph_(std::move(graph)),
+      partition_(std::move(partition)) {
+  assert(graph_ != nullptr);
+  assert(set_count_ >= 1 && set_count_ <= 8);
+  assert(spins_.size() == graph_->node_count());
+  assert(partition_.compatible(*graph_));
+  // Byte backend only: bit-packing and the break fast path are span
+  // machinery; a graph flip is a CSR row walk with exact touch updates.
+  storage_ = EngineStorage::kByte;
+  for (int k = 0; k < kMaxBreaks; ++k) breaks_[k] = -2;
+  init_graph(code_of);
+}
+
+void BinarySpinEngine::init_graph(const GraphCodeFn& code_of) {
+  const std::size_t nodes = graph_->node_count();
+  // One membership table per distinct neighborhood size. Uniform-degree
+  // graphs get exactly one, so the per-touch cost matches the torus path
+  // (one extra index load).
+  table_of_.resize(nodes);
+  std::unordered_map<int, std::uint16_t> class_of;
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    const int nsize = graph_->neighborhood_size(v);
+    const auto [it, inserted] = class_of.try_emplace(
+        nsize, static_cast<std::uint16_t>(class_tables_.size()));
+    if (inserted) {
+      class_tables_.emplace_back(nsize, [&](bool plus, int count) {
+        return code_of(nsize, plus, count);
+      });
+    }
+    table_of_[v] = it->second;
+  }
+  // Graph-partition parts are not contiguous id ranges, so every shard
+  // slice must span the full id range — set memory is O(nodes * shards),
+  // unlike the windowed stripe slices. Fine at realistic shard counts.
+  sets_.reserve(static_cast<std::size_t>(set_count_) * shard_count_);
+  for (int i = 0; i < set_count_ * shard_count_; ++i) {
+    sets_.emplace_back(nodes);
+  }
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    assert(spins_[v] == 1 || spins_[v] == -1);
+    const auto [row, len] = graph_->row(v);
+    std::int32_t plus = 0;
+    for (int i = 0; i < len; ++i) plus += spins_[row[i]] > 0;
+    plus_count_[v] = plus;
+  }
+  // Ascending id, matching the torus init_codes order, so initial set
+  // contents are permutation-identical between the two modes.
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    const MembershipTable& table = class_tables_[table_of_[v]];
+    const std::uint8_t want = table.code(spins_[v] > 0, plus_count_[v]);
+    if (want != 0) {
+      apply_code(v, 0, want);
+      status_[v] = want;
+    }
+  }
 }
 
 void BinarySpinEngine::init_breaks() {
@@ -187,6 +261,10 @@ void BinarySpinEngine::flip_impl(std::uint32_t id) {
   SEG_ASSERT(id < size(),
              "flip of out-of-range site " << id << " (lattice has "
                                           << size() << " sites)");
+  if (graph_) {
+    flip_graph(id);
+    return;
+  }
   const std::int8_t old_spin = spin(id);
   SEG_ASSERT(old_spin == 1 || old_spin == -1,
              "site " << id << " holds corrupt spin "
@@ -243,6 +321,24 @@ void BinarySpinEngine::flip_impl(std::uint32_t id) {
         static_cast<std::size_t>(torus_wrap(cy + o.y, n)) * n +
         torus_wrap(cx + o.x, n));
     touch(j, bump_count(j, delta));
+  }
+}
+
+void BinarySpinEngine::flip_graph(std::uint32_t id) {
+  const std::int8_t old_spin = spins_[id];
+  SEG_ASSERT(old_spin == 1 || old_spin == -1,
+             "node " << id << " holds corrupt spin "
+                     << static_cast<int>(old_spin));
+  spins_[id] = static_cast<std::int8_t>(-old_spin);
+  const std::int32_t delta = old_spin > 0 ? -1 : +1;
+  // row(id) includes id itself, so the flipped node's own count and code
+  // update in the same pass; on a torus-built graph the row IS the legacy
+  // stencil order, so the touch/set-mutation history matches the span
+  // path exactly (goldens pin this).
+  const auto [row, len] = graph_->row(id);
+  for (int i = 0; i < len; ++i) {
+    const std::uint32_t j = row[i];
+    touch_graph(j, plus_count_[j] += delta);
   }
 }
 
@@ -354,6 +450,29 @@ std::int64_t BinarySpinEngine::plus_total() const {
 }
 
 bool BinarySpinEngine::check_invariants() const {
+  if (graph_) {
+    const std::size_t nodes = size();
+    for (std::uint32_t id = 0; id < nodes; ++id) {
+      if (spins_[id] != 1 && spins_[id] != -1) return false;
+      const auto [row, len] = graph_->row(id);
+      std::int32_t plus = 0;
+      for (int i = 0; i < len; ++i) plus += spins_[row[i]] > 0;
+      if (plus != plus_count_[id]) return false;
+      const MembershipTable& table = class_tables_[table_of_[id]];
+      if (status_[id] != table.code(spins_[id] > 0, plus)) return false;
+      const int owner = partition_.part_of(id);
+      for (int s = 0; s < set_count_; ++s) {
+        for (int shard = 0; shard < shard_count_; ++shard) {
+          const bool want =
+              shard == owner && (((status_[id] >> s) & 1) != 0);
+          if (sets_[s * shard_count_ + shard].contains(id) != want) {
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
   const int n = geometry_.side();
   const std::size_t sites = size();
   for (std::uint32_t id = 0; id < sites; ++id) {

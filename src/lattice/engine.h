@@ -34,9 +34,25 @@
 // two shards can share a 64-bit spin word when a checkerboard layout
 // cuts columns off 64-bit alignment; the engine detects that at
 // construction and routes those flips through atomic fetch-xor.
+//
+// Graph mode: the second constructor takes a GraphTopology (graph/) in
+// place of the torus geometry. Neighborhood iteration becomes a CSR row
+// walk, shard ownership/boundaries come from a GraphPartition instead of
+// a ShardLayout, and — because neighborhood sizes vary per node — the
+// single MembershipTable becomes one table per neighborhood-size class,
+// built from a code functor (N, plus, count) -> code. Graph mode always
+// uses the byte backend and skips the span/break machinery; a flip walks
+// row(id) and touch-updates each entry, which on a torus-built graph is
+// the exact legacy touch order, so torus-as-graph trajectories are
+// bitwise identical to the native span engine (the graph differential
+// suite pins all golden hashes). Everything downstream — agent sets,
+// observers, the parallel sweep engine — works unchanged because flips
+// at partition-interior nodes still write only their own part's storage.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 // The packed backend's flip kernel has an AVX-512BW specialization (one
@@ -48,6 +64,8 @@
 #define SEG_ENGINE_AVX512 1
 #endif
 
+#include "graph/partition.h"
+#include "graph/topology.h"
 #include "grid/point.h"
 #include "lattice/agent_set.h"
 #include "lattice/bitfield.h"
@@ -78,6 +96,13 @@ class FlipObserver {
   virtual void on_flip(std::uint32_t id, std::int8_t new_spin) = 0;
 };
 
+// Graph-mode membership rule: code for an agent on a node whose
+// neighborhood holds `neighborhood_size` sites (self included), of the
+// given spin sign, with `count` +1 agents in the neighborhood. Evaluated
+// once per neighborhood-size class at construction, never on a flip.
+using GraphCodeFn =
+    std::function<std::uint8_t(int neighborhood_size, bool plus, int count)>;
+
 class BinarySpinEngine {
  public:
   // `offsets` is the full stencil including (0,0). When `dense_window` is
@@ -94,11 +119,38 @@ class BinarySpinEngine {
                    int set_count, ShardLayout layout = ShardLayout(),
                    EngineStorage storage = EngineStorage::kDefault);
 
+  // Graph mode: spins live on `graph`'s nodes (size node_count()), and
+  // `code_of` defines the membership rule per neighborhood-size class.
+  // `partition` plays the ShardLayout role (default: trivial, serial).
+  // Always byte storage: the span/popcount machinery is torus-specific,
+  // and graph nodes have no row structure for the SIMD kernels to use.
+  BinarySpinEngine(std::shared_ptr<const GraphTopology> graph,
+                   std::vector<std::int8_t> spins, const GraphCodeFn& code_of,
+                   int set_count, GraphPartition partition = GraphPartition());
+
   int side() const { return geometry_.side(); }
   int radius() const { return geometry_.radius(); }
   int window_size() const { return static_cast<int>(offsets_.size()); }
-  std::size_t size() const { return geometry_.site_count(); }
+  std::size_t size() const {
+    return graph_ ? graph_->node_count() : geometry_.site_count();
+  }
   const WindowGeometry& geometry() const { return geometry_; }
+
+  bool graph_mode() const { return graph_ != nullptr; }
+  // Null in torus mode.
+  const GraphTopology* graph() const { return graph_.get(); }
+  const GraphPartition& partition() const { return partition_; }
+  // Per-node stencil size (self included): the membership-threshold N for
+  // node `id`. Uniform and equal to window_size() in torus mode.
+  int neighborhood_size(std::uint32_t id) const {
+    return graph_ ? graph_->neighborhood_size(id) : window_size();
+  }
+  // True iff a flip at `id` can write another shard's storage — the
+  // question the parallel sweep engine asks, unified across both
+  // sharding schemes (stripe/checkerboard layouts and graph partitions).
+  bool shard_boundary(std::uint32_t id) const {
+    return graph_ ? partition_.boundary(id) : layout_.boundary(id);
+  }
 
   EngineStorage storage() const { return storage_; }
   bool packed() const { return storage_ == EngineStorage::kPacked; }
@@ -144,7 +196,7 @@ class BinarySpinEngine {
   AgentSet& set(int s, int shard) { return sets_[s * shard_count_ + shard]; }
   // Membership of id in logical set s, looked up in its owning shard.
   bool in_set(int s, std::uint32_t id) const {
-    return sets_[s * shard_count_ + layout_.shard_of(id)].contains(id);
+    return sets_[s * shard_count_ + site_shard(id)].contains(id);
   }
   // Total size of logical set s across shards.
   std::size_t set_size(int s) const {
@@ -190,7 +242,9 @@ class BinarySpinEngine {
   void init_counts();
   void init_codes();
   void init_breaks();
+  void init_graph(const GraphCodeFn& code_of);
   void flip_impl(std::uint32_t id);
+  void flip_graph(std::uint32_t id);
 
   // The dense span fast path, instantiated per (count type, compare
   // width): int32/int16 for the byte/packed backends, 4 or 8 break
@@ -218,10 +272,16 @@ class BinarySpinEngine {
     return plus_count_[id] += delta;
   }
 
+  // Owning shard of a site under whichever sharding scheme is active.
+  int site_shard(std::uint32_t id) const {
+    if (shard_count_ == 1) return 0;
+    return graph_ ? partition_.part_of(id) : layout_.shard_of(id);
+  }
+
   void apply_code(std::uint32_t id, std::uint8_t have, std::uint8_t want) {
     // One branch on the trivial case keeps the serial hot path free of
     // the per-row shard lookup.
-    const int shard = shard_count_ == 1 ? 0 : layout_.shard_of(id);
+    const int shard = site_shard(id);
     for (int s = 0; s < set_count_; ++s) {
       const std::uint8_t bit = static_cast<std::uint8_t>(1u << s);
       if ((have ^ want) & bit) {
@@ -256,6 +316,22 @@ class BinarySpinEngine {
     }
   }
 
+  // Graph-mode twin of touch(): same contract, but the code lookup goes
+  // through the node's neighborhood-size class table.
+  void touch_graph(std::uint32_t id, std::int32_t new_count) {
+    SEG_ASSERT(new_count >= 0 && new_count <= neighborhood_size(id),
+               "node " << id << " count " << new_count << " escaped [0, "
+                       << neighborhood_size(id) << "] after a flip");
+    const MembershipTable& table = class_tables_[table_of_[id]];
+    const std::uint8_t want =
+        table.data()[table.spin_offset(spins_[id]) + new_count];
+    const std::uint8_t have = status_[id];
+    if (want != have) {
+      apply_code(id, have, want);
+      status_[id] = want;
+    }
+  }
+
   WindowGeometry geometry_;
   ShardLayout layout_;
   int shard_count_;
@@ -283,6 +359,15 @@ class BinarySpinEngine {
   std::vector<std::uint8_t> status_;
   std::vector<AgentSet> sets_;
   FlipObserver* observer_ = nullptr;
+
+  // Graph mode only. One MembershipTable per distinct neighborhood size
+  // (class_tables_), with table_of_[id] indexing each node's class —
+  // uniform-degree graphs (torus-as-graph, random regular) collapse to a
+  // single table, so the touch cost matches the torus path.
+  std::shared_ptr<const GraphTopology> graph_;
+  GraphPartition partition_;
+  std::vector<MembershipTable> class_tables_;
+  std::vector<std::uint16_t> table_of_;
 };
 
 }  // namespace seg

@@ -1,6 +1,6 @@
 #include "util/args.h"
 
-#include <cstdlib>
+#include "util/parse.h"
 
 namespace seg {
 
@@ -50,17 +50,25 @@ std::int64_t ArgParser::get_int(const std::string& key,
                                 std::int64_t def) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
-  char* end = nullptr;
-  const auto v = std::strtoll(it->second.c_str(), &end, 10);
-  return (end == it->second.c_str()) ? def : v;
+  std::int64_t v = 0;
+  std::string why;
+  if (!parse_i64_checked(it->second, &v, &why)) {
+    errors_.push_back("--" + key + ": " + why);
+    return def;
+  }
+  return v;
 }
 
 double ArgParser::get_double(const std::string& key, double def) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
-  char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  return (end == it->second.c_str()) ? def : v;
+  double v = 0.0;
+  std::string why;
+  if (!parse_double_checked(it->second, &v, &why)) {
+    errors_.push_back("--" + key + ": " + why);
+    return def;
+  }
+  return v;
 }
 
 bool ArgParser::get_bool(const std::string& key, bool def) const {

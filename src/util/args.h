@@ -16,12 +16,19 @@ class ArgParser {
 
   bool has(const std::string& key) const;
 
-  // Typed getters with defaults. Malformed numeric values fall back to the
-  // default (the harnesses treat CLI input as best-effort).
+  // Typed getters with defaults. Malformed numeric values ("10x",
+  // overflow) fall back to the default AND record a message in errors();
+  // harnesses that care check errors() after reading their flags and
+  // refuse to run, instead of silently proceeding with a default the
+  // user never asked for.
   std::string get_string(const std::string& key, std::string def = "") const;
   std::int64_t get_int(const std::string& key, std::int64_t def = 0) const;
   double get_double(const std::string& key, double def = 0.0) const;
   bool get_bool(const std::string& key, bool def = false) const;
+
+  // One "--key: <reason>: '<token>'" line per malformed value seen by the
+  // typed getters above, in call order.
+  const std::vector<std::string>& errors() const { return errors_; }
 
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program_name() const { return program_; }
@@ -30,6 +37,9 @@ class ArgParser {
   std::string program_;
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  // Getters are const accessors of parse-time state; the error log is
+  // bookkeeping they append to lazily.
+  mutable std::vector<std::string> errors_;
 };
 
 }  // namespace seg

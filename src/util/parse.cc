@@ -1,0 +1,104 @@
+#include "util/parse.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace seg {
+namespace {
+
+void set_error(std::string* error, const std::string& token,
+               const char* what) {
+  if (error) *error = std::string(what) + ": '" + token + "'";
+}
+
+}  // namespace
+
+bool parse_i64_checked(const std::string& token, std::int64_t* out,
+                       std::string* error) {
+  if (token.empty()) {
+    set_error(error, token, "empty integer");
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    set_error(error, token, "not an integer");
+    return false;
+  }
+  if (errno == ERANGE) {
+    set_error(error, token, "integer out of range");
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_u64_checked(const std::string& token, std::uint64_t* out,
+                       std::string* error) {
+  if (token.empty()) {
+    set_error(error, token, "empty integer");
+    return false;
+  }
+  // strtoull accepts "-1" and wraps it; a leading '-' (after optional
+  // whitespace-free token start) is always a caller error here.
+  if (token[0] == '-') {
+    set_error(error, token, "negative value for unsigned field");
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    set_error(error, token, "not an integer");
+    return false;
+  }
+  if (errno == ERANGE) {
+    set_error(error, token, "integer out of range");
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_int_checked(const std::string& token, int* out,
+                       std::string* error) {
+  std::int64_t wide = 0;
+  if (!parse_i64_checked(token, &wide, error)) return false;
+  if (wide < std::numeric_limits<int>::min() ||
+      wide > std::numeric_limits<int>::max()) {
+    set_error(error, token, "integer out of range");
+    return false;
+  }
+  *out = static_cast<int>(wide);
+  return true;
+}
+
+bool parse_double_checked(const std::string& token, double* out,
+                          std::string* error) {
+  if (token.empty()) {
+    set_error(error, token, "empty number");
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    set_error(error, token, "not a number");
+    return false;
+  }
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    set_error(error, token, "number out of range");
+    return false;
+  }
+  if (!std::isfinite(value)) {
+    set_error(error, token, "number is not finite");
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace seg
