@@ -4,7 +4,15 @@
 // metrics, and prefix-sum construction.
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "analysis/clusters.h"
 #include "analysis/correlation.h"
@@ -19,6 +27,7 @@
 #include "grid/distance_transform.h"
 #include "grid/prefix_sum.h"
 #include "lattice/sharded.h"
+#include "obs/endpoint.h"
 #include "obs/telemetry.h"
 #include "rng/splitmix64.h"
 
@@ -147,6 +156,82 @@ BENCHMARK(BM_GlauberRun)
     ->Args({128, 4, 1})
     ->Args({128, 10, 0})
     ->Args({128, 10, 1});
+
+// One GET /metrics against the loopback endpoint; the scraper thread in
+// BM_GlauberRunScraped calls this at its polling cadence.
+bool scrape_once(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const char req[] = "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  (void)!::send(fd, req, sizeof(req) - 1, 0);
+  char buf[4096];
+  std::size_t total = 0;
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    total += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return total > 0;
+}
+
+// Exporter overhead under load: the BM_GlauberRun workload (128/10, flat
+// storage) with live telemetry, without (arg 0) and with (arg 1) a
+// /metrics endpoint being scraped every ~10ms from another thread.
+// scripts/bench.sh records the on/off ratio as
+// context.metrics_endpoint_overhead (min over repetitions); the README
+// "Observability endpoint" claim and scripts/audit.py hold it to <= 2%.
+// The endpoint renders registry snapshots only, so the cost is cache
+// pressure from the render loop — nothing in the simulation synchronizes
+// with the scraper.
+void BM_GlauberRunScraped(benchmark::State& state) {
+  const bool scraped = state.range(0) != 0;
+  const bool was_enabled = seg::obs::enabled();
+  seg::obs::set_enabled(true);
+
+  seg::obs::MetricsServer server;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::thread scraper;
+  if (scraped && server.start(0)) {
+    const std::uint16_t port = server.port();
+    scraper = std::thread([port, &stop, &scrapes] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (scrape_once(port)) scrapes.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+
+  seg::ModelParams params{.n = 128, .w = 10, .tau = 0.45, .p = 0.5};
+  std::uint64_t flips = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    seg::Rng init(3);
+    seg::SchellingModel model(params, init);
+    seg::Rng dyn(4);
+    state.ResumeTiming();
+    const seg::RunResult r = seg::run_glauber(model, dyn);
+    benchmark::DoNotOptimize(r.flips);
+    flips += r.flips;
+  }
+
+  stop.store(true);
+  if (scraper.joinable()) scraper.join();
+  server.stop();
+  seg::obs::set_enabled(was_enabled);
+  state.SetItemsProcessed(static_cast<std::int64_t>(flips));
+  state.counters["scraped"] = scraped ? 1 : 0;
+  state.counters["scrapes"] = static_cast<double>(scrapes.load());
+}
+BENCHMARK(BM_GlauberRunScraped)->Arg(0)->Arg(1);
 
 // Giant-lattice sweep throughput: a fixed flip budget on a fresh
 // tau = 0.45 lattice, serial engine (shards = 0) versus the sharded

@@ -65,8 +65,23 @@
 //   --progress-file F  append machine-readable progress records (JSONL)
 //   --progress-every S progress sampling period in seconds (default 1.0)
 //
+// Observability endpoint (README "Observability endpoint"):
+//   --metrics-port N   serve GET /metrics (Prometheus text format),
+//                      /healthz and /progress on 127.0.0.1:N for the
+//                      run's duration; 0 binds an ephemeral port, printed
+//                      to stderr and recorded in the manifest
+//   --metrics-debug    also serve GET /debug/flight (flight-recorder dump)
+//   --report FILE      end-of-run structured report; ".md" renders
+//                      markdown, everything else report.json
+//   --flight-dump FILE enable the flight recorder and install the crash
+//                      handler: on SIGSEGV/SIGABRT the last events are
+//                      dumped to FILE before the process dies
+//
 // None of the telemetry paths touch any RNG stream: trajectories and all
-// outputs are bitwise identical with and without these flags.
+// outputs are bitwise identical with and without these flags — including
+// with a live scraper hitting the endpoint (the handlers read registry
+// snapshots only).
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -76,7 +91,10 @@
 #include "campaign/builtin.h"
 #include "campaign/metrics.h"
 #include "campaign/sinks.h"
+#include "obs/endpoint.h"
+#include "obs/flight_recorder.h"
 #include "obs/progress.h"
+#include "obs/report.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/args.h"
@@ -294,6 +312,10 @@ int main(int argc, char** argv) {
   const bool progress_line = args.get_bool("progress", false);
   const std::string progress_file = args.get_string("progress-file", "");
   const double progress_every = args.get_double("progress-every", 1.0);
+  const std::int64_t metrics_port_arg = args.get_int("metrics-port", -1);
+  const bool metrics_debug = args.get_bool("metrics-debug", false);
+  const std::string report_path = args.get_string("report", "");
+  const std::string flight_dump = args.get_string("flight-dump", "");
   // All numeric flags are read by now; a malformed value ("--seed 10x",
   // an overflowing count) is a hard usage error, not a silent fallback
   // to the default.
@@ -303,10 +325,22 @@ int main(int argc, char** argv) {
     }
     return 1;
   }
+  if (metrics_port_arg > 65535) {
+    std::fprintf(stderr, "--metrics-port must be in [0, 65535]\n");
+    return 1;
+  }
+  const bool metrics_endpoint = metrics_port_arg >= 0;
   const bool telemetry = args.get_bool("telemetry", false) ||
                          !trace_path.empty() || progress_line ||
-                         !progress_file.empty();
+                         !progress_file.empty() || metrics_endpoint ||
+                         !report_path.empty();
   if (telemetry) seg::obs::set_enabled(true);
+  if (!flight_dump.empty() || metrics_debug) {
+    seg::obs::flight::set_enabled(true);
+    if (!flight_dump.empty()) {
+      seg::obs::flight::install_crash_handler(flight_dump);
+    }
+  }
 
   const std::size_t total =
       campaign.points.size() * campaign.spec.layout_replicas();
@@ -336,7 +370,10 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) trace_session.start();
 
   std::unique_ptr<seg::obs::ProgressReporter> progress;
-  if (progress_line || !progress_file.empty()) {
+  // The endpoint serves /progress from the reporter's latest record, so
+  // a live endpoint keeps a (silent) reporter ticking even when neither
+  // progress flag asked for one.
+  if (progress_line || !progress_file.empty() || metrics_endpoint) {
     seg::obs::ProgressOptions popt;
     popt.interval_s = progress_every;
     popt.jsonl_path = progress_file;
@@ -346,9 +383,35 @@ int main(int argc, char** argv) {
     options.progress = progress->callback();
   }
 
+  seg::obs::MetricsServer metrics_server([&] {
+    seg::obs::MetricsServerOptions mopt;
+    if (progress) {
+      seg::obs::ProgressReporter* reporter = progress.get();
+      mopt.progress_json = [reporter] { return reporter->latest_record(); };
+    }
+    mopt.debug_routes = metrics_debug;
+    return mopt;
+  }());
+  if (metrics_endpoint) {
+    std::string error;
+    if (!metrics_server.start(static_cast<std::uint16_t>(metrics_port_arg),
+                              &error)) {
+      std::fprintf(stderr, "cannot start metrics endpoint: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics endpoint on http://127.0.0.1:%u/metrics\n",
+                 static_cast<unsigned>(metrics_server.port()));
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
   const seg::CampaignResult result = seg::run_campaign(
       campaign.spec, campaign.points, campaign.metric_names,
       campaign.replica, seed, options);
+  const double wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   // run_campaign has joined its worker pool, so every instrumented region
   // is quiescent before the session stops and the reporter finalizes.
@@ -380,6 +443,10 @@ int main(int argc, char** argv) {
   manifest.set_info("csv", out);
   if (!spec_path.empty()) manifest.set_info("spec_file", spec_path);
   if (!trace_path.empty()) manifest.set_info("trace", trace_path);
+  if (metrics_endpoint) {
+    manifest.set_info("metrics_port", std::to_string(metrics_server.port()));
+  }
+  if (!report_path.empty()) manifest.set_info("report", report_path);
   if (telemetry) {
     manifest.set_telemetry(seg::obs::Registry::instance().summary());
   }
@@ -390,6 +457,16 @@ int main(int argc, char** argv) {
   }
   std::printf("aggregates -> %s, manifest -> %s\n", out.c_str(),
               manifest_path.c_str());
+  if (!report_path.empty()) {
+    const seg::obs::RunReport report =
+        seg::obs::build_report(result, wall_time_s);
+    if (!seg::obs::write_report(report, report_path)) {
+      std::fprintf(stderr, "failed to write report %s\n",
+                   report_path.c_str());
+      return 1;
+    }
+    std::printf("report -> %s\n", report_path.c_str());
+  }
   if (adaptive) {
     std::size_t stopped = 0, capped = 0, open = 0, used = 0;
     for (const seg::PointResult& pr : result.points) {

@@ -23,6 +23,9 @@ Checks (see --list):
     run are framework-overhead measurements, not scaling results.
   * The recorded disabled-telemetry overhead respects the <= 2% budget
     that README.md and src/obs/telemetry.h promise.
+  * README.md's /metrics scrape-overhead claim equals the
+    context.metrics_endpoint_overhead figure bench.sh recorded, which
+    must stay inside its <= 2% budget.
   * README.md's bit-packed storage speedup claims equal the
     packed-vs-prior-byte speedups recorded in BENCH_core.json.
   * README.md's adaptive-campaign replica-savings claim equals the
@@ -217,6 +220,62 @@ def check_telemetry_budget(repo, bench):
     return problems
 
 
+def check_metrics_endpoint_overhead(repo, bench):
+    """README scrape-overhead claim == what bench.sh recorded, and <= 2%.
+
+    BENCH_core.json's metrics_endpoint_overhead context carries the
+    BM_GlauberRunScraped times with and without a live /metrics scraper
+    plus the derived overhead fraction and its <= 2% budget. The README's
+    observability section quotes that overhead; any drift (a re-run, an
+    optimistic edit) is a contradiction, and the recorded overhead itself
+    must stay inside the budget.
+    """
+    problems = []
+    readme = read_text(repo, "README.md")
+    ctx = bench.get("context", {}).get("metrics_endpoint_overhead")
+    if ctx is None:
+        # Present only once bench.sh has rerun with BM_GlauberRunScraped;
+        # absence is a stale-benchmarks problem, not an inconsistency.
+        return []
+    unscraped = ctx.get("unscraped_ns")
+    scraped = ctx.get("scraped_ns")
+    overhead = ctx.get("overhead")
+    if not unscraped or not scraped or overhead is None:
+        return ["metrics_endpoint_overhead context is missing "
+                "unscraped_ns / scraped_ns / overhead"]
+    recomputed = round(scraped / unscraped - 1.0, 4)
+    if abs(recomputed - overhead) > 0.00011:
+        problems.append(
+            f"metrics_endpoint_overhead records overhead={overhead} but "
+            f"scraped/unscraped - 1 = {recomputed}")
+    m = re.search(r"(\d+(?:\.\d+)?)\s*%", ctx.get("budget", ""))
+    if not m:
+        problems.append(
+            "metrics_endpoint_overhead has no parseable '<= N%' budget")
+        return problems
+    budget = float(m.group(1)) / 100.0
+    if overhead > budget:
+        problems.append(
+            f"recorded /metrics scrape overhead {overhead:+.2%} exceeds "
+            f"the {budget:.0%} budget stated alongside it")
+    line = next((ln for ln in readme.splitlines()
+                 if "BM_GlauberRunScraped" in ln), None)
+    if line is None:
+        return problems + [
+            "README.md never mentions BM_GlauberRunScraped, whose scrape "
+            "overhead BENCH_core.json records"]
+    pct = re.search(r"(-?\d+(?:\.\d+)?)\s*%", line)
+    if not pct:
+        problems.append(
+            "README.md line naming BM_GlauberRunScraped quotes no 'N%' "
+            f"overhead to check against the recorded {overhead}")
+    elif abs(float(pct.group(1)) - 100.0 * overhead) > 0.06:
+        problems.append(
+            f"README.md claims {pct.group(1)}% scrape overhead but "
+            f"BENCH_core.json records {100.0 * overhead:.2f}%")
+    return problems
+
+
 def check_packed_speedup(repo, bench):
     """README packed-storage speedup claims == what bench.sh recorded.
 
@@ -395,6 +454,7 @@ CHECKS = [
     ("coverage-gate", check_coverage_gate),
     ("single-core-caveats", check_single_core_caveats),
     ("telemetry-budget", check_telemetry_budget),
+    ("metrics-endpoint-overhead", check_metrics_endpoint_overhead),
     ("packed-speedup", check_packed_speedup),
     ("adaptive-savings", check_adaptive_savings),
     ("graph-overhead", check_graph_overhead),

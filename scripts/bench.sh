@@ -46,7 +46,24 @@ trap 'rm -rf "$tmp"' EXIT
     --benchmark_report_aggregates_only=false \
     --benchmark_format=json >flip_reps.json)
 
-python3 - "$tmp/raw.json" "$repo/BENCH_core.json" "$tmp/flip_reps.json" <<'EOF'
+# Dedicated repetitions for the metrics-endpoint-overhead annotation:
+# BM_GlauberRunScraped/{0,1} is the same full-run workload with live
+# telemetry, without/with a ~10ms-cadence /metrics scraper thread. Same
+# min-over-repetitions treatment as the telemetry overhead — the budget
+# (<= 2% scrape overhead) is below single-run noise on a shared host —
+# plus random interleaving: blocked repetitions alias slow host phases
+# onto whichever variant runs inside them, which at this effect size
+# flips the sign of the measured overhead run to run.
+(cd "$tmp" && "$repo/build/perf_core" \
+    --benchmark_filter='^BM_GlauberRunScraped' \
+    --benchmark_min_time=0.1 \
+    --benchmark_repetitions=10 \
+    --benchmark_enable_random_interleaving=true \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_format=json >scrape_reps.json)
+
+python3 - "$tmp/raw.json" "$repo/BENCH_core.json" "$tmp/flip_reps.json" \
+    "$tmp/scrape_reps.json" <<'EOF'
 import json
 import sys
 
@@ -246,6 +263,37 @@ if base:
         "baseline_BM_Flip_10_ns": round(base, 2),
         "budget": "disabled overhead <= 2%",
         **overhead,
+    }
+
+# Metrics-endpoint overhead under load: BM_GlauberRunScraped/0 (live
+# telemetry, no endpoint) vs /1 (same workload with a /metrics scrape
+# every ~10ms from another thread). The exporter reads registry
+# snapshots only, so the ratio is the full cost a scraped production run
+# pays over an unscraped one. README.md's "Observability endpoint"
+# section quotes the recorded overhead and scripts/audit.py fails if the
+# quote drifts or the number leaves the <= 2% budget.
+scrape_reps = json.load(open(sys.argv[4]))
+scrape_times = {}
+for bench in scrape_reps.get("benchmarks", []):
+    if bench.get("run_type") != "iteration" or not bench.get("real_time"):
+        continue
+    name = bench["name"].split("/repeats:")[0]
+    prev = scrape_times.get(name)
+    scrape_times[name] = min(prev, bench["real_time"]) if prev else \
+        bench["real_time"]
+unscraped = scrape_times.get("BM_GlauberRunScraped/0")
+scraped = scrape_times.get("BM_GlauberRunScraped/1")
+if unscraped and scraped:
+    context["metrics_endpoint_overhead"] = {
+        "metric": "BM_GlauberRunScraped: full Glauber run (n=128, w=10) "
+                  "with live telemetry, with vs without a concurrent "
+                  "/metrics scraper polling the embedded endpoint every "
+                  "~10ms; min over 10 random-interleaved repetitions of "
+                  "each, same run",
+        "unscraped_ns": round(unscraped, 1),
+        "scraped_ns": round(scraped, 1),
+        "overhead": round(scraped / unscraped - 1.0, 4),
+        "budget": "scrape overhead <= 2%",
     }
 
 # Single-core hosts cannot exercise real parallelism: flag every

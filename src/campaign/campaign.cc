@@ -14,6 +14,7 @@
 
 #include "campaign/checkpoint.h"
 #include "campaign/metrics.h"
+#include "obs/flight_recorder.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "rng/splitmix64.h"
@@ -146,7 +147,9 @@ struct EngineState {
 // trace is exactly what a replay of the done rows produces.
 void write_checkpoint(const std::string& path, EngineState& state) {
   SEG_TRACE_SPAN("checkpoint_write");
+  SEG_TIMED("phase.checkpoint_write_us");
   SEG_COUNT("campaign.checkpoints", 1);
+  SEG_FLIGHT("checkpoint_write", 0, 0);
   std::lock_guard<std::mutex> io_lock(state.checkpoint_mutex);
   std::vector<std::uint8_t> done_now;
   std::vector<StopDecision> trace_now;
@@ -242,6 +245,7 @@ CampaignResult run_campaign(const ScenarioSpec& spec,
         state.trace.push_back(StopDecision{
             static_cast<std::uint32_t>(p), static_cast<std::uint32_t>(fr),
             spec.stop.rule, st.bound_at_stop()});
+        SEG_FLIGHT("stop_decision", p, fr);
         // The point's remaining cap shrinks to what is already claimed or
         // recorded: the decision prefix, claims in flight, and any
         // resumed row beyond them.
@@ -391,6 +395,7 @@ CampaignResult run_campaign(const ScenarioSpec& spec,
       }
     }
     SEG_COUNT("campaign.replicas_done", 1);
+    SEG_FLIGHT("replica_done", g, 0);
     assert(row.size() == metric_count && "replica returned a wrong-width row");
     row.resize(metric_count, 0.0);
     bool checkpoint_due = false;

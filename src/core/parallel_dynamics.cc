@@ -77,6 +77,7 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
   while (!model.terminated() && result.flips < options.max_flips &&
          result.sweeps < options.max_sweeps) {
     SEG_TRACE_SPAN("sweep");
+    SEG_TIMED("phase.sweep_us");
     const std::uint64_t budget =
         std::min(quantum, options.max_flips - result.flips);
 
@@ -86,6 +87,7 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
     // deferred and blocks the shard until reconciliation.
     parallel_for(pool, static_cast<std::size_t>(k), [&](std::size_t s) {
       SEG_TRACE_SPAN("phase_a_shard");
+      SEG_TIMED("phase.shard_a_us");
       ShardState& st = shards[s];
       const AgentSet& flippable =
           model.flippable_set(static_cast<int>(s));
@@ -132,6 +134,7 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
     // reconciled flip may have changed its window.
     {
       SEG_TRACE_SPAN("reconcile");
+      SEG_TIMED("phase.reconcile_us");
       std::uint64_t sweep_reconciled = 0;
       for (ShardState& st : shards) {
         for (const std::uint32_t id : st.queue) {
@@ -159,6 +162,7 @@ ParallelRunResult run_parallel_glauber(SchellingModel& model,
       // taken on the replayed stream every `streaming_sample_every`
       // flips (or once per sweep when 0), deterministically.
       SEG_TRACE_SPAN("streaming_replay");
+      SEG_TIMED("phase.streaming_replay_us");
       const auto drain = [&](std::uint32_t id) {
         streaming->apply_flip(id);
         if (options.streaming_sample_every > 0 &&
@@ -216,10 +220,12 @@ ParallelKawasakiResult run_parallel_kawasaki(
   while (result.swaps < options.max_swaps &&
          result.sweeps < options.max_sweeps) {
     SEG_TRACE_SPAN("kawasaki_sweep");
+    SEG_TIMED("phase.kawasaki_sweep_us");
     const std::uint64_t swap_budget = options.max_swaps - result.swaps;
 
     parallel_for(pool, static_cast<std::size_t>(k), [&](std::size_t si) {
       SEG_TRACE_SPAN("phase_a_shard");
+      SEG_TIMED("phase.shard_a_us");
       const int s = static_cast<int>(si);
       ShardState& st = shards[si];
       st.absorbed = false;
@@ -301,6 +307,7 @@ ParallelKawasakiResult run_parallel_kawasaki(
     const std::uint64_t reconciled_before = result.reconciled;
     {
       SEG_TRACE_SPAN("reconcile");
+      SEG_TIMED("phase.reconcile_us");
       for (ShardState& st : shards) {
         std::unordered_set<std::uint64_t> seen;  // same pair drawn twice
         for (const auto& [a, b] : st.queue) {

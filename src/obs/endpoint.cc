@@ -1,0 +1,64 @@
+#include "obs/endpoint.h"
+
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "util/http.h"
+
+namespace seg::obs {
+
+struct MetricsServer::Impl {
+  MetricsServerOptions options;
+  HttpServer server;
+};
+
+MetricsServer::MetricsServer(MetricsServerOptions options)
+    : impl_(new Impl()) {
+  impl_->options = std::move(options);
+  impl_->server.handle("/metrics", [](const HttpRequest&) {
+    HttpResponse resp;
+    // The versioned content type Prometheus scrapers negotiate for the
+    // 0.0.4 text format.
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = render_prometheus();
+    return resp;
+  });
+  impl_->server.handle("/healthz", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "ok\n";
+    return resp;
+  });
+  Impl* impl = impl_;
+  impl_->server.handle("/progress", [impl](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body =
+        impl->options.progress_json ? impl->options.progress_json() : "{}";
+    resp.body += '\n';
+    return resp;
+  });
+  if (impl_->options.debug_routes) {
+    impl_->server.handle("/debug/flight", [](const HttpRequest&) {
+      HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = flight::dump_json();
+      return resp;
+    });
+  }
+}
+
+MetricsServer::~MetricsServer() {
+  stop();
+  delete impl_;
+}
+
+bool MetricsServer::start(std::uint16_t port, std::string* error) {
+  return impl_->server.start(port, error);
+}
+
+void MetricsServer::stop() { impl_->server.stop(); }
+
+bool MetricsServer::running() const { return impl_->server.running(); }
+
+std::uint16_t MetricsServer::port() const { return impl_->server.port(); }
+
+}  // namespace seg::obs

@@ -1,0 +1,57 @@
+// The campaign observatory endpoint: an embedded HTTP server exposing
+// the telemetry registry and live campaign state on loopback.
+//
+// Routes:
+//   GET /metrics       Prometheus text format 0.0.4 (obs/exposition.h)
+//   GET /healthz       "ok\n" — liveness probe
+//   GET /progress      newest progress record as a JSON object ("{}"
+//                      until a ProgressReporter is attached and ticks)
+//   GET /debug/flight  flight-recorder dump (only when debug routes are
+//                      enabled; 404 otherwise)
+//
+// Every handler reads snapshots only — registry snapshot, latest
+// progress string, flight-recorder ring loads. None touches an RNG
+// stream or any simulation state, so a live scraper cannot perturb a
+// trajectory (pinned by tests/test_metrics_endpoint.cc against the
+// frozen golden hashes).
+//
+// Port 0 binds an ephemeral port; read the actual one back with
+// port(). The campaign runner prints it to stderr and records it in
+// the manifest so scrapers of short-lived runs can find it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace seg::obs {
+
+struct MetricsServerOptions {
+  // Source of the /progress body (a JSON object string). Unset serves
+  // "{}". The campaign runner wires ProgressReporter::latest_record.
+  std::function<std::string()> progress_json;
+  // Expose /debug/flight (off by default: dumps are a debugging
+  // surface, not part of the stable scrape contract).
+  bool debug_routes = false;
+};
+
+class MetricsServer {
+ public:
+  explicit MetricsServer(MetricsServerOptions options = {});
+  ~MetricsServer();  // implies stop()
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  // Binds 127.0.0.1:port (0 = ephemeral) and starts serving. False on
+  // failure with *error describing why.
+  bool start(std::uint16_t port, std::string* error = nullptr);
+  void stop();
+  bool running() const;
+  std::uint16_t port() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace seg::obs

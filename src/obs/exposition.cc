@@ -1,0 +1,116 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/telemetry.h"
+
+namespace seg::obs {
+
+namespace {
+
+void append_u64(std::string* out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void append_i64(std::string* out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+// Upper value bound of log2 bucket b (inclusive): 0 for the zero
+// bucket, 2^b - 1 above it. Rendered exactly — the boundaries are
+// integers, so the cumulative `le` labels stay precise.
+std::uint64_t bucket_upper(int b) {
+  if (b <= 0) return 0;
+  if (b >= 64) return ~0ULL;
+  return (1ULL << b) - 1;
+}
+
+// Midpoint of bucket b's value range, for the approximate _sum.
+double bucket_mid(int b) {
+  if (b <= 0) return 0.0;
+  const double lo = std::ldexp(1.0, b - 1);
+  return lo + (std::ldexp(1.0, b) - 1.0 - lo) / 2.0;
+}
+
+void render_histogram(std::string* out, const std::string& name,
+                      const MetricSample& s) {
+  std::uint64_t cum = 0;
+  double approx_sum = 0.0;
+  int top = -1;  // highest nonempty bucket
+  for (int b = 0; b < static_cast<int>(s.buckets.size()); ++b) {
+    if (s.buckets[static_cast<std::size_t>(b)] > 0) top = b;
+  }
+  // Every boundary up to the highest nonempty bucket is emitted (empty
+  // buckets included) so consecutive scrapes keep a stable bucket
+  // layout while the histogram grows only at the top.
+  for (int b = 0; b <= top; ++b) {
+    cum += s.buckets[static_cast<std::size_t>(b)];
+    approx_sum += bucket_mid(b) *
+                  static_cast<double>(s.buckets[static_cast<std::size_t>(b)]);
+    *out += name + "_bucket{le=\"";
+    append_u64(out, bucket_upper(b));
+    *out += "\"} ";
+    append_u64(out, cum);
+    *out += '\n';
+  }
+  *out += name + "_bucket{le=\"+Inf\"} ";
+  append_u64(out, s.histogram_count);
+  *out += '\n';
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", approx_sum);
+  *out += name + "_sum " + buf + "\n";
+  *out += name + "_count ";
+  append_u64(out, s.histogram_count);
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& registry_name) {
+  std::string out = "seg_";
+  for (const char c : registry_name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string render_prometheus() {
+  std::string out;
+  out.reserve(4096);
+  for (const MetricSample& s : Registry::instance().snapshot()) {
+    const std::string name = prometheus_name(s.name);
+    out += "# HELP " + name + " registry metric " + s.name;
+    if (s.kind == MetricKind::kHistogram) {
+      out += " (log2 buckets; _sum is a bucket-midpoint estimate)";
+    }
+    out += '\n';
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n" + name + ' ';
+        append_u64(&out, s.value);
+        out += '\n';
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n" + name + ' ';
+        append_i64(&out, s.gauge);
+        out += '\n';
+        break;
+      case MetricKind::kHistogram:
+        out += "# TYPE " + name + " histogram\n";
+        render_histogram(&out, name, s);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace seg::obs

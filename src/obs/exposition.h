@@ -1,0 +1,34 @@
+// Prometheus text exposition (format 0.0.4) of the telemetry registry.
+//
+// render_prometheus() snapshots the registry and renders every metric as
+// a scrape-ready document:
+//
+//  * names are sanitized to the Prometheus charset and prefixed "seg_"
+//    ("engine.flips" -> "seg_engine_flips"); each family gets a # HELP
+//    line (echoing the registry name) and a # TYPE line;
+//  * counters and gauges render as single samples;
+//  * log2 histograms render as cumulative `_bucket{le="..."}` series —
+//    one bucket per nonempty log2 bucket boundary (le = 2^b - 1, and
+//    le="0" for the zero bucket) plus the mandatory terminal
+//    `_bucket{le="+Inf"}` — with `_count` (exact) and `_sum`
+//    (bucket-midpoint estimate; the registry stores bucket counts, not
+//    running sums, so HELP flags the sum as approximate).
+//
+// The render reads only the registry's aggregated snapshot: it takes no
+// lock a simulation writer ever holds, and touches no RNG stream — a
+// live scraper cannot perturb a trajectory (pinned by
+// tests/test_metrics_endpoint.cc against the frozen golden hashes).
+#pragma once
+
+#include <string>
+
+namespace seg::obs {
+
+// "engine.flips" -> "seg_engine_flips"; any char outside
+// [a-zA-Z0-9_:] becomes '_', and a leading digit gets a '_' prefix.
+std::string prometheus_name(const std::string& registry_name);
+
+// The full scrape document for the current registry contents.
+std::string render_prometheus();
+
+}  // namespace seg::obs

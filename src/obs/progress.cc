@@ -43,6 +43,8 @@ struct ProgressReporter::Impl {
   std::FILE* jsonl = nullptr;
   std::mutex emit_mutex;
   std::atomic<std::size_t> records{0};
+  mutable std::mutex latest_mutex;
+  std::string latest = "{}";  // newest record, no trailing newline
   bool tty = false;
   bool wrote_tty_line = false;
 
@@ -113,8 +115,10 @@ struct ProgressReporter::Impl {
     prev_done = done_now;
     prev_flips = flips;
 
-    if (jsonl != nullptr) {
-      std::string line;
+    // The record is built on every tick — even with no progress file —
+    // because the metrics endpoint serves the newest one as /progress.
+    std::string line;
+    {
       char buf[256];
       std::snprintf(buf, sizeof(buf),
                     "{\"t\":%.3f,\"done\":%zu,\"total\":%zu,"
@@ -144,7 +148,14 @@ struct ProgressReporter::Impl {
                       static_cast<long long>(open_points), max_ci);
         line += buf;
       }
-      line += "}\n";
+      line += "}";
+    }
+    {
+      std::lock_guard<std::mutex> latest_lock(latest_mutex);
+      latest = line;
+    }
+    if (jsonl != nullptr) {
+      line += "\n";
       std::fwrite(line.data(), 1, line.size(), jsonl);
       std::fflush(jsonl);
       records.fetch_add(1, std::memory_order_relaxed);
@@ -250,6 +261,11 @@ void ProgressReporter::finish() {
 
 std::size_t ProgressReporter::records_written() const {
   return impl_->records.load(std::memory_order_relaxed);
+}
+
+std::string ProgressReporter::latest_record() const {
+  std::lock_guard<std::mutex> lock(impl_->latest_mutex);
+  return impl_->latest;
 }
 
 }  // namespace seg::obs

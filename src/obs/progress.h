@@ -72,6 +72,12 @@ class ProgressReporter {
   // Number of JSONL records written (tests).
   std::size_t records_written() const;
 
+  // The most recent JSONL record as a JSON object string (no trailing
+  // newline), or "{}" before the first emission. Built on every tick
+  // whether or not a progress file is open — this is what the metrics
+  // endpoint serves as GET /progress. Thread-safe.
+  std::string latest_record() const;
+
  private:
   struct Impl;
   Impl* impl_;

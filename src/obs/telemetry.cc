@@ -4,7 +4,9 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -292,6 +294,44 @@ std::uint64_t bucket_mid(int b) {
 }
 
 }  // namespace
+
+double quantile_from_log2_buckets(const std::vector<std::uint64_t>& buckets,
+                                  double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const double c = static_cast<double>(buckets[b]);
+    if (c == 0.0) continue;
+    if (cum + c >= rank) {
+      // Linear interpolation across the bucket's value range [lo, hi]:
+      // crude inside one bucket, but log2 buckets make the relative
+      // error bounded (the range spans one octave).
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi =
+          b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+      const double frac = c > 0.0 ? (rank - cum) / c : 0.0;
+      return lo + frac * (hi - lo);
+    }
+    cum += c;
+  }
+  // q == 1 (or rounding): top of the highest nonempty bucket.
+  for (std::size_t b = buckets.size(); b > 0; --b) {
+    if (buckets[b - 1] > 0) {
+      return b - 1 == 0 ? 0.0
+                        : std::ldexp(1.0, static_cast<int>(b - 1)) - 1.0;
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double Registry::histogram_quantile(const std::string& name, double q) const {
+  return quantile_from_log2_buckets(histogram_buckets(name), q);
+}
 
 std::vector<std::pair<std::string, std::string>> Registry::summary() const {
   std::vector<std::pair<std::string, std::string>> out;

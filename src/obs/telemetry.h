@@ -28,6 +28,7 @@
 // lists the registry names each layer emits.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -91,6 +92,12 @@ class Registry {
 
   // Aggregated snapshot of every registered metric, sorted by name.
   std::vector<MetricSample> snapshot() const;
+  // Quantile estimate (q in [0,1]) for a log2 histogram, linearly
+  // interpolated inside the bucket that crosses the target rank — the
+  // estimator behind the p50/p95/p99 columns in /metrics summaries and
+  // run reports. NaN when the name is unknown, not a histogram, or
+  // empty.
+  double histogram_quantile(const std::string& name, double q) const;
   // Counters matching a name prefix (sorted by name) — the progress
   // reporter uses this for per-worker utilization.
   std::vector<std::pair<std::string, std::uint64_t>> counters_with_prefix(
@@ -114,6 +121,47 @@ class Registry {
   Impl* impl_;
 };
 
+// Quantile over a raw log2 bucket vector (layout as above): linear
+// interpolation between the bucket's value range endpoints at the target
+// rank. Shared by Registry::histogram_quantile, the Prometheus
+// exposition, and the run-report renderer. NaN on an empty histogram.
+double quantile_from_log2_buckets(const std::vector<std::uint64_t>& buckets,
+                                  double q);
+
+// RAII phase timer behind SEG_TIMED: measures the scope's wall duration
+// and feeds the microsecond count into a log2 histogram, so phase
+// latency distributions (p50/p95/p99) are available from /metrics and
+// run reports — not only from Chrome traces. The id_fn indirection lets
+// the macro cache the registry handle in a function-local static while
+// this class stays non-template at the storage level; nothing (not even
+// a clock read) happens while telemetry is runtime-disabled.
+class ScopedTimer {
+ public:
+  template <typename IdFn>
+  explicit ScopedTimer(IdFn id_fn) {
+    if (enabled()) {
+      id_ = id_fn();
+      active_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (active_) {
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      Registry::instance().observe(id_, static_cast<std::uint64_t>(us));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricId id_;
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace seg::obs
 
 // ---- instrumentation macros --------------------------------------------
@@ -121,10 +169,18 @@ class Registry {
 // `name` must be a string literal (the handle is cached in a static
 // local, so one call site must always name the same metric).
 
+#ifndef SEG_OBS_CONCAT
+#define SEG_OBS_CONCAT_INNER(a, b) a##b
+#define SEG_OBS_CONCAT(a, b) SEG_OBS_CONCAT_INNER(a, b)
+#endif
+
 #if defined(SEG_TELEMETRY_DISABLED)
 
 #define SEG_COUNT(name, delta) \
   do {                         \
+  } while (0)
+#define SEG_TIMED(name) \
+  do {                  \
   } while (0)
 #define SEG_GAUGE_SET(name, value) \
   do {                             \
@@ -178,5 +234,17 @@ class Registry {
           seg_obs_id, static_cast<std::uint64_t>(value));           \
     }                                                               \
   } while (0)
+
+// Scoped phase-latency timer: the histogram `name` (microsecond values)
+// receives the duration of the rest of the enclosing block. Place next
+// to SEG_TRACE_SPAN so every traced phase also has a scrapeable latency
+// distribution. Costs one relaxed bool load + branch while disabled.
+#define SEG_TIMED(name)                                               \
+  ::seg::obs::ScopedTimer SEG_OBS_CONCAT(seg_timed_, __LINE__)(       \
+      []() -> ::seg::obs::MetricId {                                  \
+        static const ::seg::obs::MetricId seg_timed_id =              \
+            ::seg::obs::Registry::instance().histogram(name);         \
+        return seg_timed_id;                                          \
+      })
 
 #endif  // SEG_TELEMETRY_DISABLED

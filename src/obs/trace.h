@@ -87,8 +87,10 @@ class TraceSpan {
 
 }  // namespace seg::obs
 
+#ifndef SEG_OBS_CONCAT
 #define SEG_OBS_CONCAT_INNER(a, b) a##b
 #define SEG_OBS_CONCAT(a, b) SEG_OBS_CONCAT_INNER(a, b)
+#endif
 
 #if defined(SEG_TELEMETRY_DISABLED)
 

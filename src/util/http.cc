@@ -1,0 +1,220 @@
+#include "util/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <thread>
+
+namespace seg {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "OK";
+  }
+}
+
+// Reads until the end of the request head ("\r\n\r\n"), EOF, timeout, or
+// the size cap. The obs endpoints only ever see header-only GETs, so any
+// request body is simply ignored (the connection closes after the
+// response anyway).
+bool read_request_head(int fd, std::string* head) {
+  constexpr std::size_t kMaxHead = 8192;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // timeout or error: caller answers 400
+    }
+    if (n == 0) return false;  // peer closed before finishing the head
+    head->append(buf, static_cast<std::size_t>(n));
+    if (head->find("\r\n\r\n") != std::string::npos) return true;
+    // Lone-\n clients (nc, hand-rolled test sockets) are accepted too.
+    if (head->find("\n\n") != std::string::npos) return true;
+    if (head->size() > kMaxHead) return false;
+  }
+}
+
+// First request line -> (method, path, query). False on malformed input.
+bool parse_request_line(const std::string& head, HttpRequest* req) {
+  const std::size_t eol = head.find_first_of("\r\n");
+  const std::string line =
+      eol == std::string::npos ? head : head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  req->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (version.compare(0, 5, "HTTP/") != 0) return false;
+  if (target.empty() || target[0] != '/') return false;
+  const std::size_t q = target.find('?');
+  if (q != std::string::npos) {
+    req->query = target.substr(q + 1);
+    target.resize(q);
+  }
+  req->path = std::move(target);
+  return true;
+}
+
+void write_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing to salvage
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const HttpResponse& resp) {
+  std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                     status_text(resp.status) + "\r\n";
+  head += "Content-Type: " + resp.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  write_all(fd, head + resp.body);
+}
+
+}  // namespace
+
+struct HttpServer::Impl {
+  std::map<std::string, Handler> handlers;
+  std::thread accept_thread;
+  std::atomic<bool> running{false};
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+
+  void serve_connection(int fd) {
+    // A stuck client must not park the accept loop forever.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    std::string head;
+    HttpRequest req;
+    HttpResponse resp;
+    if (!read_request_head(fd, &head) || !parse_request_line(head, &req)) {
+      resp.status = 400;
+      resp.body = "bad request\n";
+    } else if (req.method != "GET") {
+      resp.status = 405;
+      resp.body = "only GET is served here\n";
+    } else {
+      const auto it = handlers.find(req.path);
+      if (it == handlers.end()) {
+        resp.status = 404;
+        resp.body = "no handler for " + req.path + "\n";
+      } else {
+        try {
+          resp = it->second(req);
+        } catch (...) {
+          resp = HttpResponse{};
+          resp.status = 500;
+          resp.body = "handler failed\n";
+        }
+      }
+    }
+    send_response(fd, resp);
+    ::close(fd);
+  }
+
+  void accept_loop() {
+    while (running.load(std::memory_order_acquire)) {
+      sockaddr_in peer{};
+      socklen_t len = sizeof(peer);
+      const int fd =
+          ::accept(listen_fd, reinterpret_cast<sockaddr*>(&peer), &len);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        // stop() shut the listen socket down; anything else (EMFILE,
+        // ECONNABORTED) is transient — keep accepting while running.
+        if (!running.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      serve_connection(fd);
+    }
+  }
+};
+
+HttpServer::HttpServer() : impl_(new Impl()) {}
+
+HttpServer::~HttpServer() {
+  stop();
+  delete impl_;
+}
+
+void HttpServer::handle(const std::string& path, Handler handler) {
+  impl_->handlers[path] = std::move(handler);
+}
+
+bool HttpServer::start(std::uint16_t port, std::string* error) {
+  if (impl_->running.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "server already running";
+    return false;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  impl_->listen_fd = fd;
+  impl_->port = ntohs(addr.sin_port);
+  impl_->running.store(true, std::memory_order_release);
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!impl_->running.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() wakes the blocking accept(); close() alone may not.
+  ::shutdown(impl_->listen_fd, SHUT_RDWR);
+  ::close(impl_->listen_fd);
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  impl_->listen_fd = -1;
+}
+
+bool HttpServer::running() const {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+std::uint16_t HttpServer::port() const { return impl_->port; }
+
+}  // namespace seg

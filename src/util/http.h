@@ -1,0 +1,76 @@
+// Minimal embedded HTTP/1.1 server for the observability endpoints.
+//
+// Deliberately tiny: a blocking accept loop on one dedicated thread,
+// GET-only, exact-path handler dispatch, close-after-response. No
+// third-party dependencies, no TLS, no keep-alive — the server exists so
+// a campaign process can be scraped (`/metrics`, `/healthz`, ...) and
+// poked for post-mortem state (`/debug/flight`), not to serve an
+// application. It binds loopback only: the exposed surface is the local
+// host (a scraper sidecar, curl, CI), never the network.
+//
+// Concurrency model: connections are accepted and served one at a time
+// on the server thread. Handlers therefore need no internal locking
+// against each other, but they do run concurrently with the simulation
+// threads — a handler must only touch snapshot-style read paths (the
+// telemetry registry aggregates, the progress reporter's last record),
+// which is exactly what the obs endpoints do. Concurrent scrapes queue
+// in the listen backlog and are answered in order.
+//
+// Robustness: a slow or dead client cannot wedge the accept loop — every
+// connection gets a receive/send timeout and is dropped afterwards.
+// Truncated or malformed requests get a 400, unknown paths a 404,
+// non-GET methods a 405. A handler that throws is answered with a 500
+// rather than taking the process down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace seg {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/metrics" (query string stripped into `query`)
+  std::string query;   // bytes after '?', "" if none
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer();
+  ~HttpServer();  // implies stop()
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers `handler` for exact matches of `path`. Must be called
+  // before start(); later registrations race the accept thread.
+  void handle(const std::string& path, Handler handler);
+
+  // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port), starts
+  // the accept thread. Returns false (with `*error` set when non-null)
+  // if the socket could not be bound. Idempotent failure: the server can
+  // be start()ed again with another port.
+  bool start(std::uint16_t port, std::string* error = nullptr);
+
+  // Stops the accept loop and joins the thread. Idempotent; called by
+  // the destructor. In-flight handlers finish first.
+  void stop();
+
+  bool running() const;
+  // The bound port (resolved after start() when 0 was requested).
+  std::uint16_t port() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace seg

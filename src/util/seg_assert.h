@@ -26,11 +26,17 @@
 namespace seg {
 namespace internal {
 
+// Defined in obs/flight_recorder.cc: writes the flight-recorder tail to
+// stderr (no-op when nothing was recorded) so an assertion failure in a
+// long campaign leaves the recent event history next to the report.
+void seg_assert_dump_flight() noexcept;
+
 [[noreturn]] inline void seg_assert_fail(const char* expr, const char* file,
                                          int line, const std::string& what) {
   std::fprintf(stderr, "SEG_ASSERT failed at %s:%d: (%s) %s\n", file, line,
                expr, what.c_str());
   std::fflush(stderr);
+  seg_assert_dump_flight();
   std::abort();
 }
 

@@ -1,0 +1,127 @@
+// Minimal JSON well-formedness checker shared by the observability
+// tests (trace export, progress records, flight-recorder dumps, run
+// reports). Recursive-descent validator for the subset the writers emit
+// (objects, arrays, strings, numbers, literals); json_well_formed
+// returns false on any syntax error or trailing garbage.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace seg::testing {
+
+struct JsonChecker {
+  const char* p;
+  const char* end;
+  int depth = 0;
+
+  bool ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+    return true;
+  }
+  bool literal(const char* lit) {
+    const std::size_t len = std::string(lit).size();
+    if (static_cast<std::size_t>(end - p) < len) return false;
+    if (std::string(p, p + len) != lit) return false;
+    p += len;
+    return true;
+  }
+  bool string() {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+      }
+      ++p;
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+  bool number() {
+    const char* start = p;
+    if (p < end && (*p == '-' || *p == '+')) ++p;
+    bool digits = false;
+    while (p < end && ((*p >= '0' && *p <= '9') || *p == '.' || *p == 'e' ||
+                       *p == 'E' || *p == '-' || *p == '+')) {
+      digits = digits || (*p >= '0' && *p <= '9');
+      ++p;
+    }
+    return digits && p > start;
+  }
+  bool value() {
+    if (++depth > 64) return false;
+    ws();
+    bool ok = false;
+    if (p >= end) {
+      ok = false;
+    } else if (*p == '{') {
+      ++p;
+      ws();
+      if (p < end && *p == '}') {
+        ++p;
+        ok = true;
+      } else {
+        for (;;) {
+          ws();
+          if (!string()) return false;
+          ws();
+          if (p >= end || *p != ':') return false;
+          ++p;
+          if (!value()) return false;
+          ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          break;
+        }
+        ok = p < end && *p == '}';
+        if (ok) ++p;
+      }
+    } else if (*p == '[') {
+      ++p;
+      ws();
+      if (p < end && *p == ']') {
+        ++p;
+        ok = true;
+      } else {
+        for (;;) {
+          if (!value()) return false;
+          ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          break;
+        }
+        ok = p < end && *p == ']';
+        if (ok) ++p;
+      }
+    } else if (*p == '"') {
+      ok = string();
+    } else if (*p == 't') {
+      ok = literal("true");
+    } else if (*p == 'f') {
+      ok = literal("false");
+    } else if (*p == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+inline bool json_well_formed(const std::string& doc) {
+  JsonChecker c{doc.data(), doc.data() + doc.size()};
+  if (!c.value()) return false;
+  c.ws();
+  return c.p == c.end;
+}
+
+}  // namespace seg::testing

@@ -1,0 +1,181 @@
+// Tests for the flight recorder: ring semantics, merged dumps, the
+// async-signal-safe fd path, and the crash/assert dump hooks.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_checker.h"
+#include "obs/flight_recorder.h"
+#include "util/seg_assert.h"
+
+namespace seg {
+namespace {
+
+namespace flight = obs::flight;
+using seg::testing::json_well_formed;
+
+// Serializes recorder state across tests (the rings are process-global).
+struct ScopedRecorder {
+  ScopedRecorder() {
+    flight::reset_for_test();
+    flight::set_enabled(true);
+  }
+  ~ScopedRecorder() {
+    flight::set_enabled(false);
+    flight::reset_for_test();
+  }
+};
+
+TEST(FlightRecorder, DisabledRecordsNothing) {
+  flight::reset_for_test();
+  flight::set_enabled(false);
+  flight::record("ignored", 1, 2);
+  SEG_FLIGHT("also_ignored", 3, 4);
+  EXPECT_EQ(flight::recorded_total(), 0u);
+  EXPECT_EQ(flight::dump_json().find("ignored"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpIsWellFormedAndOrdered) {
+  ScopedRecorder recorder;
+  flight::record("alpha", 1, -2);
+  flight::record("beta", 3, 4);
+  flight::record("gamma", 5, 6);
+  const std::string dump = flight::dump_json();
+  EXPECT_TRUE(json_well_formed(dump)) << dump;
+  const std::size_t a = dump.find("alpha");
+  const std::size_t b = dump.find("beta");
+  const std::size_t c = dump.find("gamma");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(c, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(dump.find("\"b\": -2"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"dropped\": 0"), std::string::npos) << dump;
+}
+
+TEST(FlightRecorder, RingKeepsOnlyTheNewestEvents) {
+  ScopedRecorder recorder;
+  const std::size_t n = flight::kRingEvents + 50;
+  for (std::size_t i = 0; i < n; ++i) {
+    flight::record("spin", static_cast<std::int64_t>(i), 0);
+  }
+  EXPECT_EQ(flight::recorded_total(), n);
+  const std::string dump = flight::dump_json();
+  EXPECT_TRUE(json_well_formed(dump)) << dump.substr(0, 400);
+  // The oldest surviving event is exactly n - kRingEvents (seq n-255).
+  EXPECT_EQ(dump.find("\"a\": 0,"), std::string::npos)
+      << "overwritten event survived";
+  EXPECT_NE(dump.find("\"a\": " + std::to_string(n - 1)), std::string::npos)
+      << "newest event missing";
+  EXPECT_NE(dump.find("\"dropped\": 50"), std::string::npos) << "expected "
+      << n - flight::kRingEvents << " dropped";
+}
+
+TEST(FlightRecorder, MergesThreadsInSequenceOrder) {
+  ScopedRecorder recorder;
+  std::thread other([] {
+    for (int i = 0; i < 20; ++i) flight::record("other_thread", i, 0);
+  });
+  other.join();
+  for (int i = 0; i < 20; ++i) flight::record("main_thread", i, 0);
+  const std::string dump = flight::dump_json();
+  EXPECT_TRUE(json_well_formed(dump)) << dump;
+  EXPECT_NE(dump.find("other_thread"), std::string::npos);
+  EXPECT_NE(dump.find("main_thread"), std::string::npos);
+  // Sequence numbers appear in increasing order (the merge invariant).
+  std::uint64_t prev = 0;
+  std::size_t pos = 0;
+  int events = 0;
+  while ((pos = dump.find("\"seq\": ", pos)) != std::string::npos) {
+    pos += 7;
+    const std::uint64_t seq = std::strtoull(dump.c_str() + pos, nullptr, 10);
+    EXPECT_GT(seq, prev) << "dump not in sequence order";
+    prev = seq;
+    ++events;
+  }
+  EXPECT_EQ(events, 40);
+}
+
+TEST(FlightRecorder, FdDumpMatchesStringDump) {
+  ScopedRecorder recorder;
+  flight::record("fd_event", 7, 8);
+  char path[] = "/tmp/seg_flight_XXXXXX";
+  const int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  const std::size_t written = flight::dump_to_fd(fd);
+  ::close(fd);
+  std::FILE* f = std::fopen(path, "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[512];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path);
+  EXPECT_EQ(written, contents.size());
+  EXPECT_EQ(contents, flight::dump_json());
+}
+
+TEST(FlightRecorderDeathTest, SignalHandlerDumpsBeforeDying) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        flight::reset_for_test();
+        flight::set_enabled(true);
+        flight::record("before_the_crash", 1, 2);
+        flight::install_crash_handler("");  // empty path: dump to stderr
+        std::abort();
+      },
+      "flight recorder: signal 6.*before_the_crash");
+}
+
+TEST(FlightRecorderDeathTest, CrashHandlerWritesDumpFile) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = "/tmp/seg_flight_crash_dump.json";
+  std::remove(path.c_str());
+  EXPECT_DEATH(
+      {
+        flight::reset_for_test();
+        flight::set_enabled(true);
+        flight::record("crash_file_event", 9, 9);
+        flight::install_crash_handler(path);
+        ::raise(SIGSEGV);
+      },
+      "dump written to");
+  std::ifstream check(path);
+  ASSERT_TRUE(check) << "crash dump file was not written";
+  std::ostringstream text;
+  text << check.rdbuf();
+  EXPECT_TRUE(json_well_formed(text.str())) << text.str();
+  EXPECT_NE(text.str().find("crash_file_event"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+#ifdef SEG_DEBUG_CHECKS
+TEST(FlightRecorderDeathTest, SegAssertFailureIncludesFlightDump) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        flight::reset_for_test();
+        flight::set_enabled(true);
+        flight::record("assert_context", 1, 1);
+        SEG_ASSERT(false, "intentional failure " << 42);
+      },
+      "SEG_ASSERT failed.*flight recorder dump.*assert_context");
+}
+#endif
+
+}  // namespace
+}  // namespace seg

@@ -15,6 +15,7 @@
 #include "core/dynamics.h"
 #include "core/parallel_dynamics.h"
 #include "golden_fixtures.h"
+#include "json_checker.h"
 #include "lattice/sharded.h"
 #include "obs/progress.h"
 #include "obs/telemetry.h"
@@ -26,125 +27,7 @@ namespace {
 using golden::hash_bytes;
 using golden::mix;
 using golden::mix_double;
-
-// ---- minimal JSON well-formedness checker ------------------------------
-// Recursive-descent validator for the subset the trace/progress writers
-// emit (objects, arrays, strings, numbers, literals). Returns false on
-// any syntax error or trailing garbage.
-
-struct JsonChecker {
-  const char* p;
-  const char* end;
-  int depth = 0;
-
-  bool ws() {
-    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
-      ++p;
-    return true;
-  }
-  bool literal(const char* lit) {
-    const std::size_t len = std::string(lit).size();
-    if (static_cast<std::size_t>(end - p) < len) return false;
-    if (std::string(p, p + len) != lit) return false;
-    p += len;
-    return true;
-  }
-  bool string() {
-    if (p >= end || *p != '"') return false;
-    ++p;
-    while (p < end && *p != '"') {
-      if (*p == '\\') {
-        ++p;
-        if (p >= end) return false;
-      }
-      ++p;
-    }
-    if (p >= end) return false;
-    ++p;  // closing quote
-    return true;
-  }
-  bool number() {
-    const char* start = p;
-    if (p < end && (*p == '-' || *p == '+')) ++p;
-    bool digits = false;
-    while (p < end && ((*p >= '0' && *p <= '9') || *p == '.' || *p == 'e' ||
-                       *p == 'E' || *p == '-' || *p == '+')) {
-      digits = digits || (*p >= '0' && *p <= '9');
-      ++p;
-    }
-    return digits && p > start;
-  }
-  bool value() {
-    if (++depth > 64) return false;
-    ws();
-    bool ok = false;
-    if (p >= end) {
-      ok = false;
-    } else if (*p == '{') {
-      ++p;
-      ws();
-      if (p < end && *p == '}') {
-        ++p;
-        ok = true;
-      } else {
-        for (;;) {
-          ws();
-          if (!string()) return false;
-          ws();
-          if (p >= end || *p != ':') return false;
-          ++p;
-          if (!value()) return false;
-          ws();
-          if (p < end && *p == ',') {
-            ++p;
-            continue;
-          }
-          break;
-        }
-        ok = p < end && *p == '}';
-        if (ok) ++p;
-      }
-    } else if (*p == '[') {
-      ++p;
-      ws();
-      if (p < end && *p == ']') {
-        ++p;
-        ok = true;
-      } else {
-        for (;;) {
-          if (!value()) return false;
-          ws();
-          if (p < end && *p == ',') {
-            ++p;
-            continue;
-          }
-          break;
-        }
-        ok = p < end && *p == ']';
-        if (ok) ++p;
-      }
-    } else if (*p == '"') {
-      ok = string();
-    } else if (*p == 't') {
-      ok = literal("true");
-    } else if (*p == 'f') {
-      ok = literal("false");
-    } else if (*p == 'n') {
-      ok = literal("null");
-    } else {
-      ok = number();
-    }
-    --depth;
-    return ok;
-  }
-};
-
-bool json_well_formed(const std::string& doc) {
-  JsonChecker c{doc.data(), doc.data() + doc.size()};
-  if (!c.value()) return false;
-  c.ws();
-  return c.p == c.end;
-}
+using seg::testing::json_well_formed;
 
 TEST(JsonChecker, AcceptsAndRejects) {
   EXPECT_TRUE(json_well_formed("{}"));
